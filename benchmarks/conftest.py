@@ -1,0 +1,30 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at a reduced
+scale (short simulated durations) so the full harness completes in
+minutes.  The benchmark *value* is the wall-clock cost of regenerating
+the experiment; the experiment's rows are attached to ``benchmark.extra_info``
+so the numbers themselves are inspectable from the pytest-benchmark JSON.
+"""
+
+import pytest
+
+# A scale that keeps every experiment meaningful but quick.
+BENCH_SCALE = 0.12
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+def attach_rows(benchmark, result) -> None:
+    """Store the experiment's headline rows in the benchmark metadata."""
+    benchmark.extra_info["experiment"] = result.name
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 3) if isinstance(v, float) else v) for k, v in row.items()}
+        for row in result.rows[:40]
+    ]
+    for note in result.notes:
+        benchmark.extra_info.setdefault("notes", []).append(note)

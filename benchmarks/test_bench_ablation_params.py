@@ -1,0 +1,15 @@
+"""Benchmark: regenerate the parameter-sensitivity ablation at reduced scale."""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+from conftest import BENCH_SCALE, BENCH_SEED, attach_rows
+
+
+def test_bench_ablation_params(benchmark):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["ablation_params"],
+        kwargs={"scale": BENCH_SCALE, "seed": BENCH_SEED},
+        rounds=1, iterations=1,
+    )
+    attach_rows(benchmark, result)
+    assert result.rows

@@ -1,0 +1,62 @@
+"""Anatomy of LEOTP's in-network loss recovery (SHR + VPH + caches).
+
+Runs a lossy 6-hop chain and dissects where every lost packet was
+repaired: which Midnode detected the hole, how many Void Packet Headers
+suppressed duplicate requests downstream, how many recoveries were served
+from caches versus the Producer, and what the recovery cost per packet
+was.  Run with::
+
+    python examples/loss_recovery_anatomy.py
+"""
+
+from repro.core import build_leotp_path
+from repro.netsim.topology import uniform_chain_specs
+from repro.simcore import RngRegistry, Simulator
+
+DURATION_S = 30.0
+
+
+def main() -> None:
+    sim = Simulator()
+    rng = RngRegistry(root_seed=11)
+    path = build_leotp_path(
+        sim, rng,
+        uniform_chain_specs(6, rate_bps=20e6, delay_s=0.008, plr=0.01),
+    )
+    sim.run(until=DURATION_S)
+
+    losses = sum(
+        d.ab.stats.packets_dropped_loss + d.ba.stats.packets_dropped_loss
+        for d in path.links
+    )
+    print(f"Random losses injected by the network: {losses}\n")
+
+    print(f"{'Midnode':<12} {'holes':>6} {'VPH out':>8} {'retx-req':>9} "
+          f"{'cache hits':>11} {'cached MB':>10}")
+    for mid in path.midnodes:
+        flow_state = mid._flows.get("leotp")
+        holes = flow_state.shr.holes_detected if flow_state else 0
+        print(f"{mid.name:<12} {holes:>6} {mid.stats.vph_sent:>8} "
+              f"{mid.stats.retx_interests_sent:>9} "
+              f"{mid.cache.stats.hits + mid.cache.stats.partial_hits:>11} "
+              f"{mid.cache.stored_bytes / 1e6:>10.1f}")
+
+    consumer = path.consumer
+    print(f"\nConsumer: VPH notifications received  {consumer.vph_received}")
+    print(f"          timeout retransmissions (TR) {consumer.tr_expirations}")
+    print(f"          SHR+TR re-requests           {consumer.retransmission_interests}")
+
+    rec = path.recorder
+    normal = rec.owds() * 1000
+    retx = rec.owds(retransmitted_only=True) * 1000
+    print(f"\nDelivered {rec.total_bytes / 1e6:.1f} MB at "
+          f"{rec.throughput_bps(5, DURATION_S) / 1e6:.2f} Mbps")
+    print(f"OWD: all packets mean {normal.mean():.1f} ms; "
+          f"recovered packets mean {retx.mean():.1f} ms "
+          f"({len(retx)} recovered)")
+    print("\nKey observation: recovery happens one hop upstream of each loss")
+    print("(cache hits), so recovered packets cost ~one hopRTT, not an e2e RTT.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Multicast delivery through a shared Midnode (paper Sec. VII extension).
+
+Three consumers fetch the *same* content (same FlowID) through one
+Midnode.  The Pending Interest Table aggregates simultaneous duplicate
+Interests and the cache serves late joiners, so the producer's uplink
+carries each byte roughly once instead of three times.  Run with::
+
+    python examples/multicast_fanout.py
+"""
+
+from repro.core import Consumer, LeotpConfig, MulticastMidnode, Producer
+from repro.netsim.link import DuplexLink
+from repro.netsim.trace import FlowRecorder
+from repro.simcore import Simulator
+
+CONTENT_BYTES = 2_000_000
+N_CONSUMERS = 3
+
+
+def main() -> None:
+    sim = Simulator()
+    config = LeotpConfig()
+    producer = Producer(sim, "origin", config, content_bytes=CONTENT_BYTES)
+    midnode = MulticastMidnode(sim, "edge-sat", config)
+    uplink = DuplexLink(sim, producer, midnode, rate_bps=20e6, delay_s=0.015)
+    midnode.set_upstream(uplink.ba)
+
+    consumers = []
+    for i in range(N_CONSUMERS):
+        recorder = FlowRecorder(sim, name=f"user{i}")
+        consumer = Consumer(
+            sim, f"user{i}", "live-stream", config,
+            total_bytes=CONTENT_BYTES, recorder=recorder,
+            start_time=i * 1.0,  # staggered joins, 1 s apart
+        )
+        access = DuplexLink(sim, midnode, consumer, rate_bps=20e6, delay_s=0.003)
+        consumer.out_link = access.ba
+        consumers.append((consumer, recorder))
+
+    sim.run(until=60.0)
+
+    print(f"{N_CONSUMERS} consumers fetched the same "
+          f"{CONTENT_BYTES / 1e6:.1f} MB flow through one Midnode\n")
+    for i, (consumer, recorder) in enumerate(consumers):
+        status = f"done at t={consumer.completed_at:.1f}s" if consumer.finished \
+            else "incomplete"
+        # Recorder OWDs here measure *content age* (time since the producer
+        # first sent the bytes); for cache-served late joiners that
+        # includes the time the data sat in the cache.
+        print(f"  {consumer.name}: joined t={i:.0f}s, {status}, "
+              f"mean content age {recorder.owd_mean():.2f} s")
+
+    total_demand = N_CONSUMERS * CONTENT_BYTES
+    uplink_bytes = producer.wire_bytes_sent
+    print(f"\nProducer uplink carried {uplink_bytes / 1e6:.1f} MB "
+          f"for {total_demand / 1e6:.1f} MB of total demand "
+          f"({uplink_bytes / total_demand:.0%})")
+    print(f"Interests aggregated at the Midnode: {midnode.interests_aggregated}")
+    print(f"Cache hits serving late joiners:     {midnode.cache.stats.hits}")
+
+
+if __name__ == "__main__":
+    main()

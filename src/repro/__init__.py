@@ -1,0 +1,33 @@
+"""Reproduction of *LEOTP: An Information-Centric Transport Layer Protocol
+for LEO Satellite Networks* (Jiang et al., ICDCS 2023).
+
+Package map:
+
+* :mod:`repro.simcore` — discrete-event kernel (clock, timers, RNG streams);
+* :mod:`repro.netsim` — packet-level links, nodes, topologies, bandwidth models;
+* :mod:`repro.constellation` — orbits, the Starlink Walker shell, routing;
+* :mod:`repro.common` — byte-range algebra and the RFC 6298 estimator;
+* :mod:`repro.core` — the LEOTP protocol (the paper's contribution);
+* :mod:`repro.tcp` — TCP baselines (Cubic/Hybla/Westwood/Vegas/BBR/PCC),
+  Split TCP and the Snoop proxy;
+* :mod:`repro.gateway` — TCP <-> LEOTP bridging gateways;
+* :mod:`repro.analysis` — the paper's closed-form models and statistics;
+* :mod:`repro.experiments` — one module per evaluation figure/table.
+
+Quick start::
+
+    from repro.core import build_leotp_path
+    from repro.netsim.topology import uniform_chain_specs
+    from repro.simcore import RngRegistry, Simulator
+
+    sim = Simulator()
+    path = build_leotp_path(
+        sim, RngRegistry(1),
+        uniform_chain_specs(5, rate_bps=20e6, delay_s=0.01, plr=0.01),
+        total_bytes=1_000_000,
+    )
+    sim.run(until=30.0)
+    assert path.consumer.finished
+"""
+
+__version__ = "1.0.0"

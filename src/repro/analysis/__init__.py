@@ -1,0 +1,29 @@
+"""Analytical models (paper Sec. II-B) and statistics utilities."""
+
+from repro.analysis.formulas import (
+    end_to_end_plr,
+    hbh_owd_ratio,
+    hbh_throughput_gain,
+    mean_owd_e2e,
+    mean_owd_hbh,
+    throughput_e2e,
+    throughput_hbh,
+)
+from repro.analysis.owd_model import OwdDistribution, simulate_owd_e2e, simulate_owd_hbh
+from repro.analysis.stats import jain_fairness, percentile, summarize
+
+__all__ = [
+    "OwdDistribution",
+    "end_to_end_plr",
+    "hbh_owd_ratio",
+    "hbh_throughput_gain",
+    "jain_fairness",
+    "mean_owd_e2e",
+    "mean_owd_hbh",
+    "percentile",
+    "simulate_owd_e2e",
+    "simulate_owd_hbh",
+    "summarize",
+    "throughput_e2e",
+    "throughput_hbh",
+]

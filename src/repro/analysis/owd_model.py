@@ -1,0 +1,90 @@
+"""Monte-Carlo model of per-packet OWD under the two retransmission schemes.
+
+Reproduces Fig. 3: the theoretical one-way-delay distribution of packets
+crossing an N-hop path where each hop loses packets independently, under
+
+* **end-to-end retransmission** — a loss anywhere restarts the packet at
+  the sender, costing one extra end-to-end RTT (2*N*d) per attempt;
+* **hop-by-hop retransmission** — a loss on hop *i* is repaired from the
+  previous node, costing one extra hop RTT (2*d) per attempt.
+
+The paper simulates 100 000 packets over 10 hops with p = 0.5 % and
+d = 10 ms and reports (e2e) p99 = 300 ms, max = 700 ms versus (hbh)
+p99 = 120 ms, max = 160 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OwdDistribution:
+    """Summary of a simulated OWD sample."""
+
+    owds_s: np.ndarray
+
+    @property
+    def mean_s(self) -> float:
+        return float(self.owds_s.mean())
+
+    def percentile_s(self, q: float) -> float:
+        return float(np.percentile(self.owds_s, q))
+
+    @property
+    def max_s(self) -> float:
+        return float(self.owds_s.max())
+
+
+def _geometric_failures(
+    rng: np.random.Generator, p_fail: float, size: int
+) -> np.ndarray:
+    """Number of failed attempts before the first success per sample."""
+    if p_fail == 0:
+        return np.zeros(size, dtype=int)
+    # numpy geometric counts trials to first success (>= 1).
+    return rng.geometric(1.0 - p_fail, size=size) - 1
+
+
+def simulate_owd_e2e(
+    n_packets: int = 100_000,
+    n_hops: int = 10,
+    plr_per_hop: float = 0.005,
+    hop_delay_s: float = 0.010,
+    seed: int = 0,
+) -> OwdDistribution:
+    """OWD sample under end-to-end loss recovery."""
+    _check(n_packets, n_hops, plr_per_hop, hop_delay_s)
+    rng = np.random.default_rng(seed)
+    p_e2e = 1.0 - (1.0 - plr_per_hop) ** n_hops
+    failures = _geometric_failures(rng, p_e2e, n_packets)
+    owds = (1 + 2 * failures) * n_hops * hop_delay_s
+    return OwdDistribution(owds.astype(float))
+
+
+def simulate_owd_hbh(
+    n_packets: int = 100_000,
+    n_hops: int = 10,
+    plr_per_hop: float = 0.005,
+    hop_delay_s: float = 0.010,
+    seed: int = 1,
+) -> OwdDistribution:
+    """OWD sample under hop-by-hop loss recovery."""
+    _check(n_packets, n_hops, plr_per_hop, hop_delay_s)
+    rng = np.random.default_rng(seed)
+    total = np.zeros(n_packets)
+    for _ in range(n_hops):
+        failures = _geometric_failures(rng, plr_per_hop, n_packets)
+        total += (1 + 2 * failures) * hop_delay_s
+    return OwdDistribution(total)
+
+
+def _check(n_packets: int, n_hops: int, plr: float, d: float) -> None:
+    if n_packets <= 0 or n_hops <= 0:
+        raise ValueError("packet and hop counts must be positive")
+    if not 0 <= plr < 1:
+        raise ValueError("loss rate must be in [0, 1)")
+    if d <= 0:
+        raise ValueError("hop delay must be positive")

@@ -1,0 +1,45 @@
+"""Statistics utilities shared by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def jain_fairness(throughputs: Sequence[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1].
+
+    1.0 means perfectly equal allocations; 1/n means one flow starves the
+    rest.  Used for the Fig. 15 fairness comparison.
+    """
+    xs = np.asarray(list(throughputs), dtype=float)
+    if xs.size == 0:
+        raise ValueError("need at least one throughput")
+    if np.any(xs < 0):
+        raise ValueError("throughputs must be non-negative")
+    denom = xs.size * float(np.sum(xs**2))
+    if denom == 0:
+        return 1.0  # all zero: degenerate but equal
+    return float(np.sum(xs)) ** 2 / denom
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    vals = np.asarray(list(values), dtype=float)
+    if vals.size == 0:
+        raise ValueError("empty sample")
+    return float(np.percentile(vals, q))
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """Mean / p50 / p95 / p99 / max of a sample, as a plain dict."""
+    vals = np.asarray(list(values), dtype=float)
+    if vals.size == 0:
+        raise ValueError("empty sample")
+    return {
+        "mean": float(vals.mean()),
+        "p50": float(np.percentile(vals, 50)),
+        "p95": float(np.percentile(vals, 95)),
+        "p99": float(np.percentile(vals, 99)),
+        "max": float(vals.max()),
+    }

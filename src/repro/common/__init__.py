@@ -1,0 +1,6 @@
+"""Protocol-neutral building blocks shared by the TCP and LEOTP stacks."""
+
+from repro.common.ranges import ByteRange, RangeSet
+from repro.common.rto import RtoEstimator
+
+__all__ = ["ByteRange", "RangeSet", "RtoEstimator"]

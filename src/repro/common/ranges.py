@@ -1,0 +1,157 @@
+"""Half-open byte-range algebra.
+
+LEOTP names data by ``(FlowID, [rangeStart, rangeEnd))`` and several
+components track which byte ranges have been seen (receiver reassembly,
+SHR hole tracking, cache indexing).  :class:`RangeSet` keeps a sorted set
+of disjoint half-open intervals with O(log n) queries.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class ByteRange:
+    """A half-open interval [start, end) of byte offsets."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"invalid range [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, other: "ByteRange") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def contains(self, other: "ByteRange") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    def intersection(self, other: "ByteRange") -> "ByteRange | None":
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        return ByteRange(start, end) if start < end else None
+
+    def split(self, chunk: int) -> Iterator["ByteRange"]:
+        """Yield consecutive sub-ranges of at most ``chunk`` bytes."""
+        if chunk <= 0:
+            raise ValueError("chunk must be positive")
+        pos = self.start
+        while pos < self.end:
+            yield ByteRange(pos, min(pos + chunk, self.end))
+            pos += chunk
+
+    def __repr__(self) -> str:
+        return f"[{self.start},{self.end})"
+
+
+class RangeSet:
+    """A set of byte offsets stored as sorted disjoint half-open intervals."""
+
+    def __init__(self, ranges: Iterable[ByteRange] = ()) -> None:
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        for r in ranges:
+            self.add(r)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Total bytes covered."""
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __iter__(self) -> Iterator[ByteRange]:
+        for s, e in zip(self._starts, self._ends):
+            yield ByteRange(s, e)
+
+    def intervals(self) -> list[ByteRange]:
+        return list(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RangeSet):
+            return NotImplemented
+        return self._starts == other._starts and self._ends == other._ends
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RangeSet({list(self)})"
+
+    # ------------------------------------------------------------------
+
+    def add(self, r: ByteRange) -> None:
+        """Insert a range, merging with any overlapping/adjacent intervals."""
+        start, end = r.start, r.end
+        # Find all intervals touching [start, end] and merge them.
+        lo = bisect.bisect_left(self._ends, start)  # first interval ending >= start
+        hi = bisect.bisect_right(self._starts, end)  # last interval starting <= end
+        if lo < hi:
+            start = min(start, self._starts[lo])
+            end = max(end, self._ends[hi - 1])
+        self._starts[lo:hi] = [start]
+        self._ends[lo:hi] = [end]
+
+    def remove(self, r: ByteRange) -> None:
+        """Delete the intersection of ``r`` from the set."""
+        start, end = r.start, r.end
+        lo = bisect.bisect_right(self._ends, start)
+        new_starts: list[int] = []
+        new_ends: list[int] = []
+        i = lo
+        while i < len(self._starts) and self._starts[i] < end:
+            s, e = self._starts[i], self._ends[i]
+            if s < start:
+                new_starts.append(s)
+                new_ends.append(start)
+            if e > end:
+                new_starts.append(end)
+                new_ends.append(e)
+            i += 1
+        self._starts[lo:i] = new_starts
+        self._ends[lo:i] = new_ends
+
+    def contains(self, r: ByteRange) -> bool:
+        """True if every byte of ``r`` is in the set."""
+        idx = bisect.bisect_right(self._starts, r.start) - 1
+        return idx >= 0 and self._ends[idx] >= r.end
+
+    def overlaps(self, r: ByteRange) -> bool:
+        """True if any byte of ``r`` is in the set."""
+        idx = bisect.bisect_right(self._starts, r.start) - 1
+        if idx >= 0 and self._ends[idx] > r.start:
+            return True
+        idx += 1
+        return idx < len(self._starts) and self._starts[idx] < r.end
+
+    def missing_within(self, r: ByteRange) -> list[ByteRange]:
+        """Sub-ranges of ``r`` not present in the set (the "holes")."""
+        holes: list[ByteRange] = []
+        pos = r.start
+        idx = bisect.bisect_right(self._starts, r.start) - 1
+        if idx >= 0 and self._ends[idx] > pos:
+            pos = min(self._ends[idx], r.end)
+        idx += 1
+        while pos < r.end:
+            if idx >= len(self._starts) or self._starts[idx] >= r.end:
+                holes.append(ByteRange(pos, r.end))
+                break
+            if self._starts[idx] > pos:
+                holes.append(ByteRange(pos, self._starts[idx]))
+            pos = min(self._ends[idx], r.end)
+            idx += 1
+        return holes
+
+    def first_missing_from(self, offset: int) -> int:
+        """Smallest byte >= offset not in the set (reassembly frontier)."""
+        idx = bisect.bisect_right(self._starts, offset) - 1
+        if idx >= 0 and self._ends[idx] > offset:
+            return self._ends[idx]
+        return offset

@@ -1,0 +1,92 @@
+"""Geodesy helpers: geodetic <-> ECEF coordinates, distances, elevation.
+
+A spherical Earth is used throughout (radius 6371 km), matching the
+fidelity of the HYPATIA-style route computation the paper relies on;
+constellation-scale routing is insensitive to the ~0.3 % oblateness error.
+All positions are metres in an Earth-centred, Earth-fixed (ECEF) frame.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+EARTH_RADIUS_M = 6_371_000.0
+EARTH_MU = 3.986_004_418e14  # standard gravitational parameter, m^3/s^2
+EARTH_ROTATION_RAD_S = 7.292_115_9e-5  # sidereal rotation rate
+SPEED_OF_LIGHT_M_S = 299_792_458.0
+
+
+def geodetic_to_ecef(lat_deg: float, lon_deg: float, alt_m: float = 0.0) -> np.ndarray:
+    """Spherical-Earth geodetic coordinates to an ECEF position vector."""
+    lat = math.radians(lat_deg)
+    lon = math.radians(lon_deg)
+    r = EARTH_RADIUS_M + alt_m
+    return np.array(
+        [
+            r * math.cos(lat) * math.cos(lon),
+            r * math.cos(lat) * math.sin(lon),
+            r * math.sin(lat),
+        ]
+    )
+
+
+def distance_m(pos_a: np.ndarray, pos_b: np.ndarray) -> float:
+    """Euclidean distance between two ECEF positions."""
+    return float(np.linalg.norm(np.asarray(pos_a) - np.asarray(pos_b)))
+
+
+def propagation_delay_s(pos_a: np.ndarray, pos_b: np.ndarray) -> float:
+    """Straight-line light propagation delay between two positions."""
+    return distance_m(pos_a, pos_b) / SPEED_OF_LIGHT_M_S
+
+
+def elevation_angle_deg(ground_ecef: np.ndarray, sat_ecef: np.ndarray) -> float:
+    """Elevation of ``sat`` above the local horizon at ``ground``.
+
+    Positive values mean the satellite is above the horizon.
+    """
+    ground = np.asarray(ground_ecef, dtype=float)
+    sat = np.asarray(sat_ecef, dtype=float)
+    to_sat = sat - ground
+    rng = np.linalg.norm(to_sat)
+    if rng == 0:
+        raise ValueError("satellite and ground positions coincide")
+    up = ground / np.linalg.norm(ground)
+    sin_elev = float(np.dot(to_sat, up) / rng)
+    sin_elev = max(-1.0, min(1.0, sin_elev))
+    return math.degrees(math.asin(sin_elev))
+
+
+def great_circle_distance_m(
+    lat1_deg: float, lon1_deg: float, lat2_deg: float, lon2_deg: float
+) -> float:
+    """Surface distance between two geodetic points (haversine)."""
+    lat1, lon1, lat2, lon2 = map(
+        math.radians, (lat1_deg, lon1_deg, lat2_deg, lon2_deg)
+    )
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    a = (
+        math.sin(dlat / 2) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    )
+    return 2 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+def max_gsl_range_m(altitude_m: float, min_elevation_deg: float) -> float:
+    """Maximum slant range of a ground-satellite link.
+
+    Law-of-cosines solution of the ground-station/satellite/Earth-centre
+    triangle for a satellite exactly at the elevation mask.
+    """
+    if altitude_m <= 0:
+        raise ValueError("altitude must be positive")
+    re = EARTH_RADIUS_M
+    rs = re + altitude_m
+    elev = math.radians(min_elevation_deg)
+    # slant^2 + 2*slant*re*sin(elev) + re^2 - rs^2 = 0
+    b = 2 * re * math.sin(elev)
+    c = re * re - rs * rs
+    return (-b + math.sqrt(b * b - 4 * c)) / 2

@@ -1,0 +1,150 @@
+"""Ground-station catalogue: the 100 most populous cities.
+
+The paper deploys ground stations "in the 100 most populous cities"
+(Sec. V-A).  Coordinates are city centres to ~0.1 degree; metro-area
+populations (millions, approximate 2020 figures) are included only for
+documentation and ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constellation.geometry import geodetic_to_ecef
+
+
+@dataclass(frozen=True)
+class GroundStation:
+    """A ground station co-located with a major city."""
+
+    name: str
+    lat_deg: float
+    lon_deg: float
+    population_m: float
+
+    def ecef(self) -> np.ndarray:
+        return geodetic_to_ecef(self.lat_deg, self.lon_deg, 0.0)
+
+
+# (name, latitude, longitude, metro population in millions)
+_CITY_TABLE: list[tuple[str, float, float, float]] = [
+    ("Tokyo", 35.68, 139.69, 37.4),
+    ("Delhi", 28.61, 77.21, 30.3),
+    ("Shanghai", 31.23, 121.47, 27.1),
+    ("Sao Paulo", -23.55, -46.63, 22.0),
+    ("Mexico City", 19.43, -99.13, 21.8),
+    ("Dhaka", 23.81, 90.41, 21.0),
+    ("Cairo", 30.04, 31.24, 20.9),
+    ("Beijing", 39.90, 116.41, 20.5),
+    ("Mumbai", 19.08, 72.88, 20.4),
+    ("Osaka", 34.69, 135.50, 19.2),
+    ("New York", 40.71, -74.01, 18.8),
+    ("Karachi", 24.86, 67.01, 16.1),
+    ("Chongqing", 29.56, 106.55, 15.9),
+    ("Istanbul", 41.01, 28.98, 15.2),
+    ("Buenos Aires", -34.60, -58.38, 15.2),
+    ("Kolkata", 22.57, 88.36, 14.9),
+    ("Lagos", 6.52, 3.38, 14.4),
+    ("Kinshasa", -4.44, 15.27, 14.3),
+    ("Manila", 14.60, 120.98, 13.9),
+    ("Tianjin", 39.34, 117.36, 13.6),
+    ("Rio de Janeiro", -22.91, -43.17, 13.5),
+    ("Guangzhou", 23.13, 113.26, 13.3),
+    ("Lahore", 31.55, 74.34, 12.6),
+    ("Moscow", 55.76, 37.62, 12.5),
+    ("Shenzhen", 22.54, 114.06, 12.4),
+    ("Bangalore", 12.97, 77.59, 12.3),
+    ("Paris", 48.86, 2.35, 11.0),
+    ("Bogota", 4.71, -74.07, 10.9),
+    ("Jakarta", -6.21, 106.85, 10.8),
+    ("Chennai", 13.08, 80.27, 10.7),
+    ("Lima", -12.05, -77.04, 10.7),
+    ("Bangkok", 13.76, 100.50, 10.5),
+    ("Seoul", 37.57, 126.98, 9.96),
+    ("Hyderabad", 17.39, 78.49, 9.84),
+    ("Chengdu", 30.57, 104.07, 9.31),
+    ("Nagoya", 35.18, 136.91, 9.55),
+    ("London", 51.51, -0.13, 9.30),
+    ("Tehran", 35.69, 51.39, 9.13),
+    ("Ho Chi Minh City", 10.82, 106.63, 8.99),
+    ("Luanda", -8.84, 13.23, 8.33),
+    ("Wuhan", 30.59, 114.31, 8.36),
+    ("Xian", 34.34, 108.94, 8.00),
+    ("Ahmedabad", 23.02, 72.57, 7.87),
+    ("Kuala Lumpur", 3.14, 101.69, 7.78),
+    ("Hong Kong", 22.32, 114.17, 7.55),
+    ("Hangzhou", 30.27, 120.16, 7.24),
+    ("Surat", 21.17, 72.83, 7.18),
+    ("Suzhou", 31.30, 120.58, 7.07),
+    ("Santiago", -33.45, -70.67, 6.77),
+    ("Riyadh", 24.71, 46.68, 7.23),
+    ("Dongguan", 23.02, 113.75, 7.41),
+    ("Madrid", 40.42, -3.70, 6.62),
+    ("Baghdad", 33.31, 44.37, 7.14),
+    ("Pune", 18.52, 73.86, 6.63),
+    ("Dar es Salaam", -6.79, 39.21, 6.70),
+    ("Toronto", 43.65, -79.38, 6.20),
+    ("Belo Horizonte", -19.92, -43.94, 6.08),
+    ("Singapore", 1.35, 103.82, 5.94),
+    ("Khartoum", 15.50, 32.56, 5.83),
+    ("Johannesburg", -26.20, 28.05, 5.78),
+    ("Barcelona", 41.39, 2.17, 5.59),
+    ("Saint Petersburg", 59.93, 30.34, 5.40),
+    ("Qingdao", 36.07, 120.38, 5.62),
+    ("Dalian", 38.91, 121.61, 5.30),
+    ("Yangon", 16.87, 96.20, 5.33),
+    ("Alexandria", 31.20, 29.92, 5.28),
+    ("Philadelphia", 39.95, -75.17, 5.72),
+    ("Abidjan", 5.36, -4.01, 5.30),
+    ("Los Angeles", 34.05, -118.24, 12.5),
+    ("Ankara", 39.93, 32.86, 5.12),
+    ("Chicago", 41.88, -87.63, 8.86),
+    ("Chittagong", 22.36, 91.78, 5.13),
+    ("Shenyang", 41.80, 123.43, 4.92),
+    ("Kabul", 34.56, 69.21, 4.46),
+    ("Sydney", -33.87, 151.21, 4.93),
+    ("Melbourne", -37.81, 144.96, 4.97),
+    ("Nairobi", -1.29, 36.82, 4.73),
+    ("Hanoi", 21.03, 105.85, 4.68),
+    ("Casablanca", 33.57, -7.59, 3.75),
+    ("Jeddah", 21.49, 39.19, 4.70),
+    ("Addis Ababa", 9.03, 38.74, 4.80),
+    ("Kano", 12.00, 8.52, 3.99),
+    ("Houston", 29.76, -95.37, 6.37),
+    ("Berlin", 52.52, 13.41, 3.57),
+    ("Rome", 41.90, 12.50, 4.26),
+    ("Montreal", 45.50, -73.57, 4.22),
+    ("Busan", 35.18, 129.08, 3.47),
+    ("Cape Town", -33.92, 18.42, 4.62),
+    ("Algiers", 36.74, 3.09, 2.85),
+    ("Kiev", 50.45, 30.52, 2.95),
+    ("Jaipur", 26.91, 75.79, 3.91),
+    ("Guadalajara", 20.66, -103.35, 5.18),
+    ("Taipei", 25.03, 121.57, 7.05),
+    ("Fukuoka", 33.59, 130.40, 5.50),
+    ("Lisbon", 38.72, -9.14, 2.94),
+    ("Phoenix", 33.45, -112.07, 4.85),
+    ("Dubai", 25.20, 55.27, 3.38),
+    ("Miami", 25.76, -80.19, 6.17),
+    ("San Francisco", 37.77, -122.42, 4.73),
+    ("Shijiazhuang", 38.04, 114.51, 4.30),
+]
+
+
+def top_cities(n: int = 100) -> list[GroundStation]:
+    """The ``n`` most populous cities as ground stations (``n`` <= 100)."""
+    if not 0 < n <= len(_CITY_TABLE):
+        raise ValueError(f"n must be in [1, {len(_CITY_TABLE)}]")
+    stations = [GroundStation(name, lat, lon, pop) for name, lat, lon, pop in _CITY_TABLE]
+    stations.sort(key=lambda g: -g.population_m)
+    return stations[:n]
+
+
+def station_by_name(name: str) -> GroundStation:
+    """Look up a city by (case-insensitive) name."""
+    for city, lat, lon, pop in _CITY_TABLE:
+        if city.lower() == name.lower():
+            return GroundStation(city, lat, lon, pop)
+    raise KeyError(f"no ground station named {name!r}")

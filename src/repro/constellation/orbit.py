@@ -1,0 +1,98 @@
+"""Circular-orbit propagation in an Earth-fixed frame.
+
+Satellites follow ideal circular orbits (the Starlink core shell is
+near-circular); positions are propagated analytically and rotated into
+ECEF so they compose directly with fixed ground-station coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constellation.geometry import (
+    EARTH_MU,
+    EARTH_RADIUS_M,
+    EARTH_ROTATION_RAD_S,
+)
+
+
+def orbital_period_s(altitude_m: float) -> float:
+    """Keplerian period of a circular orbit at ``altitude_m``."""
+    if altitude_m <= 0:
+        raise ValueError("altitude must be positive")
+    a = EARTH_RADIUS_M + altitude_m
+    return 2 * math.pi * math.sqrt(a**3 / EARTH_MU)
+
+
+def mean_motion_rad_s(altitude_m: float) -> float:
+    """Angular rate of a circular orbit at ``altitude_m``."""
+    return 2 * math.pi / orbital_period_s(altitude_m)
+
+
+@dataclass(frozen=True)
+class CircularOrbit:
+    """One satellite's circular orbit.
+
+    Attributes:
+        altitude_m: height above the (spherical) Earth surface.
+        inclination_deg: orbital inclination.
+        raan_rad: right ascension of the ascending node at t=0.
+        phase_rad: in-plane anomaly at t=0 (angle from the ascending node).
+    """
+
+    altitude_m: float
+    inclination_deg: float
+    raan_rad: float
+    phase_rad: float
+
+    def position_ecef(self, t: float) -> np.ndarray:
+        """ECEF position at simulated time ``t`` (seconds)."""
+        return _positions_ecef(
+            np.array([self.raan_rad]),
+            np.array([self.phase_rad]),
+            self.altitude_m,
+            self.inclination_deg,
+            t,
+        )[0]
+
+
+def _positions_ecef(
+    raan_rad: np.ndarray,
+    phase_rad: np.ndarray,
+    altitude_m: float,
+    inclination_deg: float,
+    t: float,
+) -> np.ndarray:
+    """Vectorised ECEF positions for satellites sharing altitude/inclination.
+
+    Args:
+        raan_rad, phase_rad: per-satellite arrays of equal length.
+        t: time since epoch in seconds.
+
+    Returns:
+        (n, 3) array of ECEF positions in metres.
+    """
+    r = EARTH_RADIUS_M + altitude_m
+    inc = math.radians(inclination_deg)
+    n = mean_motion_rad_s(altitude_m)
+    nu = phase_rad + n * t  # true anomaly from the ascending node
+
+    # In-plane coordinates -> ECI via RAAN/inclination rotation.
+    cos_nu, sin_nu = np.cos(nu), np.sin(nu)
+    x_orb = r * cos_nu
+    y_orb = r * sin_nu
+    cos_raan, sin_raan = np.cos(raan_rad), np.sin(raan_rad)
+    cos_inc, sin_inc = math.cos(inc), math.sin(inc)
+    x_eci = x_orb * cos_raan - y_orb * cos_inc * sin_raan
+    y_eci = x_orb * sin_raan + y_orb * cos_inc * cos_raan
+    z_eci = y_orb * sin_inc
+
+    # ECI -> ECEF: rotate by the Earth's sidereal angle.
+    theta = EARTH_ROTATION_RAD_S * t
+    cos_t, sin_t = math.cos(theta), math.sin(theta)
+    x = x_eci * cos_t + y_eci * sin_t
+    y = -x_eci * sin_t + y_eci * cos_t
+    return np.stack([x, y, z_eci], axis=1)

@@ -1,0 +1,110 @@
+"""Walker-delta constellation generator (the Starlink core shell).
+
+The paper emulates "the core constellation of Starlink, which has 1600
+satellites evenly distributed on 32 orbital planes at an altitude of
+1150 km with an inclination of 53 degrees" (Sec. V-A, citing McDowell).
+That is a Walker-delta 53°:1600/32/F shell; we default to phasing factor
+F=1, HYPATIA's choice for this shell.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constellation.orbit import _positions_ecef, orbital_period_s
+
+
+@dataclass(frozen=True)
+class SatelliteId:
+    """Identifies a satellite by orbital plane and in-plane slot."""
+
+    plane: int
+    slot: int
+
+    def __str__(self) -> str:
+        return f"sat-{self.plane}-{self.slot}"
+
+
+@dataclass
+class WalkerConstellation:
+    """A Walker-delta shell with vectorised position computation.
+
+    Satellites are indexed ``plane * sats_per_plane + slot``.
+    """
+
+    num_planes: int = 32
+    sats_per_plane: int = 50
+    altitude_m: float = 1_150_000.0
+    inclination_deg: float = 53.0
+    phasing_factor: int = 1
+    _raan: np.ndarray = field(init=False, repr=False)
+    _phase: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_planes <= 0 or self.sats_per_plane <= 0:
+            raise ValueError("planes and satellites per plane must be positive")
+        total = self.num_satellites
+        raan = np.empty(total)
+        phase = np.empty(total)
+        for p in range(self.num_planes):
+            for s in range(self.sats_per_plane):
+                i = p * self.sats_per_plane + s
+                raan[i] = 2 * math.pi * p / self.num_planes
+                # In-plane spacing plus the Walker inter-plane phase offset.
+                phase[i] = (
+                    2 * math.pi * s / self.sats_per_plane
+                    + 2 * math.pi * self.phasing_factor * p
+                    / (self.num_planes * self.sats_per_plane)
+                )
+        self._raan = raan
+        self._phase = phase
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_satellites(self) -> int:
+        return self.num_planes * self.sats_per_plane
+
+    @property
+    def period_s(self) -> float:
+        return orbital_period_s(self.altitude_m)
+
+    def index_of(self, sat: SatelliteId) -> int:
+        if not (0 <= sat.plane < self.num_planes and 0 <= sat.slot < self.sats_per_plane):
+            raise ValueError(f"satellite {sat} outside constellation bounds")
+        return sat.plane * self.sats_per_plane + sat.slot
+
+    def id_of(self, index: int) -> SatelliteId:
+        if not 0 <= index < self.num_satellites:
+            raise ValueError(f"satellite index {index} out of range")
+        return SatelliteId(index // self.sats_per_plane, index % self.sats_per_plane)
+
+    def positions_ecef(self, t: float) -> np.ndarray:
+        """(N, 3) ECEF positions of every satellite at time ``t``."""
+        return _positions_ecef(
+            self._raan, self._phase, self.altitude_m, self.inclination_deg, t
+        )
+
+    def isl_neighbors(self, index: int) -> list[int]:
+        """The four +grid ISL neighbours of a satellite.
+
+        Two intra-plane neighbours (previous/next slot) and two inter-plane
+        neighbours (same slot on adjacent planes); the paper notes "a
+        satellite can only communicate with 4 other satellites".
+        """
+        sat = self.id_of(index)
+        spp, planes = self.sats_per_plane, self.num_planes
+        return [
+            sat.plane * spp + (sat.slot + 1) % spp,
+            sat.plane * spp + (sat.slot - 1) % spp,
+            ((sat.plane + 1) % planes) * spp + sat.slot,
+            ((sat.plane - 1) % planes) * spp + sat.slot,
+        ]
+
+
+def starlink_core_shell() -> WalkerConstellation:
+    """The shell the paper emulates: 1600 sats, 32 planes, 1150 km, 53 deg."""
+    return WalkerConstellation()

@@ -1,0 +1,48 @@
+"""LEOTP: the paper's information-centric transport protocol."""
+
+from repro.core.cache import BlockCache, CacheStats
+from repro.core.config import (
+    LEOTP_HEADER_BYTES,
+    UDP_IP_OVERHEAD_BYTES,
+    LeotpConfig,
+)
+from repro.core.congestion import (
+    CONGESTION_AVOIDANCE,
+    SLOW_START,
+    HopRateController,
+    TokenBucket,
+)
+from repro.core.consumer import Consumer
+from repro.core.flow import LeotpPath, build_leotp_path, midnode_positions
+from repro.core.midnode import Midnode, MidnodeStats
+from repro.core.multicast import MulticastMidnode
+from repro.core.paced import PacedSender
+from repro.core.producer import Producer
+from repro.core.shr import SeqHoleDetector, ShrActions
+from repro.core.wire import DataPacket, Interest, LeotpPacket
+
+__all__ = [
+    "BlockCache",
+    "CONGESTION_AVOIDANCE",
+    "CacheStats",
+    "Consumer",
+    "DataPacket",
+    "HopRateController",
+    "Interest",
+    "LEOTP_HEADER_BYTES",
+    "LeotpConfig",
+    "LeotpPacket",
+    "LeotpPath",
+    "Midnode",
+    "MidnodeStats",
+    "MulticastMidnode",
+    "PacedSender",
+    "Producer",
+    "SLOW_START",
+    "SeqHoleDetector",
+    "ShrActions",
+    "TokenBucket",
+    "UDP_IP_OVERHEAD_BYTES",
+    "build_leotp_path",
+    "midnode_positions",
+]

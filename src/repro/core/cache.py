@@ -1,0 +1,156 @@
+"""The Midnode block cache (paper Sec. IV-A).
+
+Data is stored in 4096-byte-aligned blocks per flow, addressed by
+``(FlowID, block_index)``, with LRU replacement.  The real implementation
+stores payload bytes; the simulation stores coverage (which byte ranges of
+each block are present) plus the metadata the Consumer's measurements need
+(the Producer's original transmission timestamp per range).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.common.ranges import ByteRange, RangeSet
+
+
+@dataclass
+class _Block:
+    """Coverage and origin timestamps for one 4096-byte block."""
+
+    coverage: RangeSet = field(default_factory=RangeSet)
+    # (range, origin_ts) in insertion order; lookups intersect with these.
+    origins: list[tuple[ByteRange, float]] = field(default_factory=list)
+
+    def stored_bytes(self) -> int:
+        return len(self.coverage)
+
+
+@dataclass
+class CacheStats:
+    lookups: int = 0
+    hits: int = 0
+    partial_hits: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class BlockCache:
+    """LRU block cache keyed by (flow, block index)."""
+
+    MAX_ORIGINS_PER_BLOCK = 64
+
+    def __init__(self, capacity_bytes: int = 64 << 20, block_bytes: int = 4096) -> None:
+        if capacity_bytes <= 0 or block_bytes <= 0:
+            raise ValueError("capacity and block size must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.block_bytes = block_bytes
+        self._blocks: "OrderedDict[tuple[str, int], _Block]" = OrderedDict()
+        self._stored_bytes = 0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def stored_bytes(self) -> int:
+        return self._stored_bytes
+
+    def _block_span(self, rng: ByteRange) -> range:
+        return range(rng.start // self.block_bytes, (rng.end - 1) // self.block_bytes + 1)
+
+    def store(self, flow_id: str, rng: ByteRange, origin_ts: float) -> None:
+        """Insert a received data range (O(1) per touched block)."""
+        self.stats.insertions += 1
+        for bidx in self._block_span(rng):
+            key = (flow_id, bidx)
+            block = self._blocks.get(key)
+            if block is None:
+                block = _Block()
+                self._blocks[key] = block
+            else:
+                self._blocks.move_to_end(key)
+            bstart = bidx * self.block_bytes
+            part = rng.intersection(ByteRange(bstart, bstart + self.block_bytes))
+            if part is None:
+                continue
+            before = block.stored_bytes()
+            block.coverage.add(part)
+            block.origins.append((part, origin_ts))
+            if len(block.origins) > self.MAX_ORIGINS_PER_BLOCK:
+                self._compact(block)
+            self._stored_bytes += block.stored_bytes() - before
+        self._evict_if_needed()
+
+    def lookup(self, flow_id: str, rng: ByteRange) -> list[tuple[ByteRange, float]]:
+        """Cached sub-ranges of ``rng`` with their origin timestamps.
+
+        Returns a list of (sub-range, origin_ts); empty on a miss.  The
+        union of returned sub-ranges is the cached intersection with
+        ``rng`` (they do not overlap each other).
+        """
+        self.stats.lookups += 1
+        found: list[tuple[ByteRange, float]] = []
+        remaining = RangeSet([rng])
+        for bidx in self._block_span(rng):
+            key = (flow_id, bidx)
+            block = self._blocks.get(key)
+            if block is None:
+                continue
+            self._blocks.move_to_end(key)
+            # Scan this block's stored pieces newest-first so re-stored
+            # (retransmitted) data wins, then clip against what is still
+            # needed to keep results disjoint.
+            for stored_rng, origin_ts in reversed(block.origins):
+                if not remaining:
+                    break
+                part = stored_rng.intersection(rng)
+                if part is None or not remaining.overlaps(part):
+                    continue
+                covered = RangeSet([part])
+                for hole in remaining.missing_within(part):
+                    covered.remove(hole)
+                for sub in covered:
+                    found.append((sub, origin_ts))
+                    remaining.remove(sub)
+        if not found:
+            return []
+        total = sum(r.length for r, _ in found)
+        if total >= rng.length:
+            self.stats.hits += 1
+        else:
+            self.stats.partial_hits += 1
+        return found
+
+    def contains(self, flow_id: str, rng: ByteRange) -> bool:
+        """True if every byte of ``rng`` is cached."""
+        for bidx in self._block_span(rng):
+            block = self._blocks.get((flow_id, bidx))
+            if block is None:
+                return False
+            bstart = bidx * self.block_bytes
+            part = rng.intersection(ByteRange(bstart, bstart + self.block_bytes))
+            if part is not None and not block.coverage.contains(part):
+                return False
+        return True
+
+    @staticmethod
+    def _compact(block: _Block) -> None:
+        """Collapse a block's origin list onto its coverage intervals.
+
+        Heavy retransmission can pile up many overlapping origin entries;
+        compaction rebuilds one entry per covered interval, stamped with
+        the block's earliest timestamp (conservative for OWD accounting).
+        """
+        oldest = min(ts for _, ts in block.origins)
+        block.origins = [(iv, oldest) for iv in block.coverage]
+
+    def _evict_if_needed(self) -> None:
+        while self._stored_bytes > self.capacity_bytes and self._blocks:
+            _, block = self._blocks.popitem(last=False)
+            self._stored_bytes -= block.stored_bytes()
+            self.stats.evictions += 1

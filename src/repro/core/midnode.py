@@ -1,0 +1,314 @@
+"""The LEOTP Midnode: cache, SHR loss repair, hop-by-hop rate control.
+
+A Midnode is "dummy": it keeps only soft per-flow state (sequence
+bookkeeping, a learned downstream link, congestion status) that can be
+rebuilt instantly, which is what makes LEOTP robust to topology churn.
+
+Data path (paper Figs. 7 and 9):
+
+* **Interest from downstream** — remember the downstream link for the
+  flow, update the Responder-side Interest-OWD estimate and the token
+  bucket rate from the piggybacked ``sendRate``; answer from the cache
+  when possible, otherwise forward the Interest upstream re-stamped with
+  this node's own Requester rate.
+* **Data/VPH from upstream** — feed SHR (Algorithm 1); emit VPHs
+  downstream ahead of the packet for freshly detected holes; send
+  retransmission Interests upstream for holes that crossed the disorder
+  threshold; store payload in the cache; enqueue the packet on the
+  downstream paced sender.
+
+Ablation flags: with ``enable_cache`` off the node skips SHR and caching
+(row B of Table II); with ``hop_by_hop_cc`` off it forwards without
+pacing and leaves the piggybacked rate untouched (row C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.ranges import ByteRange, RangeSet
+from repro.core.cache import BlockCache
+from repro.core.config import LeotpConfig
+from repro.core.congestion import HopRateController
+from repro.core.paced import PacedSender
+from repro.core.shr import SeqHoleDetector
+from repro.core.wire import DataPacket, Interest
+from repro.netsim.link import Link
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet
+from repro.simcore.simulator import Simulator
+
+
+@dataclass
+class _FlowState:
+    """Soft per-flow state (tens of bytes in a real node)."""
+
+    shr: SeqHoleDetector
+    cc: HopRateController
+    sender: PacedSender
+    downstream_link: Optional[Link] = None
+    upstream_link: Optional[Link] = None
+    interest_owd_est: float = 0.0
+    has_interest_owd: bool = False
+    last_downstream_rate: float = 125_000.0
+    # Data ranges currently waiting in the sending buffer.  Re-requests for
+    # them are absorbed instead of queueing another copy: under heavy TR
+    # (e.g. after a handover blackout) repeated cache hits would otherwise
+    # fill the buffer with duplicates, starve fresh data behind them, and
+    # trigger yet more timeouts — a self-sustaining duplicate storm.
+    queued: "RangeSet" = None  # type: ignore[assignment]
+
+
+@dataclass
+class MidnodeStats:
+    """Operation counters (also the Fig. 19 CPU-overhead proxy)."""
+
+    interests_received: int = 0
+    interests_forwarded: int = 0
+    data_received: int = 0
+    data_forwarded: int = 0
+    vph_received: int = 0
+    vph_sent: int = 0
+    retx_interests_sent: int = 0
+    cache_responses: int = 0
+
+    def total_operations(self) -> int:
+        return (
+            self.interests_received
+            + self.data_received
+            + self.vph_received
+            + self.vph_sent
+            + self.retx_interests_sent
+            + self.cache_responses
+        )
+
+
+class Midnode(Node):
+    """An intermediate LEOTP node (ground station or satellite)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        config: LeotpConfig = LeotpConfig(),
+    ) -> None:
+        super().__init__(sim, name)
+        self.config = config
+        self.cache = BlockCache(config.cache_capacity_bytes, config.cache_block_bytes)
+        self._flows: dict[str, _FlowState] = {}
+        self._upstream_default: Optional[Link] = None
+        self._upstream_by_flow: dict[str, Link] = {}
+        self.stats = MidnodeStats()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def set_upstream(self, link: Link, flow_id: Optional[str] = None) -> None:
+        """Declare the link toward the Producer (per flow or default).
+
+        Downstream links are learned from arriving Interests, mirroring
+        ICN breadcrumb forwarding; the upstream direction corresponds to
+        the routing layer's next hop and is configured by the topology.
+        """
+        if flow_id is None:
+            self._upstream_default = link
+        else:
+            self._upstream_by_flow[flow_id] = link
+
+    def _upstream_for(self, flow_id: str) -> Link:
+        link = self._upstream_by_flow.get(flow_id, self._upstream_default)
+        if link is None:
+            raise RuntimeError(f"midnode {self.name}: no upstream link configured")
+        return link
+
+    # ------------------------------------------------------------------
+
+    def _flow(self, flow_id: str) -> _FlowState:
+        state = self._flows.get(flow_id)
+        if state is None:
+            cfg = self.config
+            sender_holder: list[PacedSender] = []
+            cc = HopRateController(
+                self.sim, cfg,
+                buffer_len_fn=lambda: sender_holder[0].backlog_bytes,
+                name=f"{self.name}:{flow_id}:cc",
+            )
+            state_holder: list[_FlowState] = []
+            sender = PacedSender(
+                self.sim,
+                stamp=lambda pkt: self._stamp(state_holder[0], pkt),
+                paced=cfg.hop_by_hop_cc,
+                burst_bytes=3.0 * cfg.data_packet_bytes,
+                name=f"{self.name}:{flow_id}",
+            )
+            sender_holder.append(sender)
+            state = _FlowState(
+                shr=SeqHoleDetector(cfg.shr_disorder_threshold, cfg.shr_max_holes),
+                cc=cc,
+                sender=sender,
+                queued=RangeSet(),
+            )
+            state_holder.append(state)
+            self._flows[flow_id] = state
+        return state
+
+    def flow_backlog_bytes(self, flow_id: str) -> int:
+        state = self._flows.get(flow_id)
+        return state.sender.backlog_bytes if state else 0
+
+    def _stamp(self, state: _FlowState, pkt: DataPacket) -> DataPacket:
+        if not pkt.is_header:
+            state.queued.remove(pkt.range)
+        if self.config.hop_by_hop_cc:
+            out = pkt.forwarded(self.sim.now, state.interest_owd_est)
+        else:
+            # Endpoint-only control (ablation row C): timestamps survive
+            # end-to-end so the Consumer measures the full path.
+            out = pkt.forwarded(pkt.timestamp, pkt.echo_interest_owd)
+        if out.is_header:
+            self.stats.vph_sent += 1
+        else:
+            self.stats.data_forwarded += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Receive dispatch
+    # ------------------------------------------------------------------
+
+    def on_receive(self, packet: Packet, link: Link) -> None:
+        if isinstance(packet, Interest):
+            self._on_interest(packet, link)
+        elif isinstance(packet, DataPacket):
+            self._on_data(packet, link)
+
+    # ------------------------------------------------------------------
+    # Interests (from downstream)
+    # ------------------------------------------------------------------
+
+    def _on_interest(self, interest: Interest, link: Link) -> None:
+        cfg = self.config
+        now = self.sim.now
+        self.stats.interests_received += 1
+        state = self._flow(interest.flow_id)
+        # Learn the downstream route (ICN breadcrumb).
+        if link.reply_link is not None:
+            state.downstream_link = link.reply_link
+        # Responder-side measurements for this hop.
+        owd = max(now - interest.timestamp, 0.0)
+        if state.has_interest_owd:
+            state.interest_owd_est += (owd - state.interest_owd_est) / 8.0
+        else:
+            state.interest_owd_est = owd
+            state.has_interest_owd = True
+        state.last_downstream_rate = interest.send_rate_bytes_s
+        if cfg.hop_by_hop_cc:
+            state.sender.set_rate(interest.send_rate_bytes_s)
+            state.cc.next_hop_rate_bytes_s = interest.send_rate_bytes_s
+        # Answer from the cache where possible.
+        remaining: list[ByteRange] = [interest.range]
+        if cfg.enable_cache:
+            pieces = self.cache.lookup(interest.flow_id, interest.range)
+            if pieces:
+                covered = []
+                for rng, origin_ts in pieces:
+                    covered.append(rng)
+                    if state.queued.contains(rng):
+                        continue  # a copy is already queued for downstream
+                    self.stats.cache_responses += 1
+                    response = DataPacket(
+                        interest.flow_id, rng, timestamp=now,
+                        origin_ts=origin_ts, retransmitted=True,
+                    )
+                    if state.downstream_link is not None:
+                        state.queued.add(rng)
+                        if not state.sender.enqueue(response, state.downstream_link):
+                            state.queued.remove(rng)
+                remaining = self._subtract(interest.range, covered)
+        # Forward the uncovered remainder upstream, re-stamped with this
+        # node's own Requester rate.
+        upstream = self._upstream_for(interest.flow_id)
+        state.upstream_link = upstream
+        for rng in remaining:
+            if cfg.hop_by_hop_cc:
+                rate = state.cc.sending_rate_bytes_s()
+                ts = now
+            else:
+                rate = interest.send_rate_bytes_s
+                ts = interest.timestamp  # endpoint-measured path (row C)
+            fwd = Interest(
+                interest.flow_id, rng, timestamp=ts,
+                send_rate_bytes_s=rate,
+                is_retransmission=interest.is_retransmission,
+            )
+            self.stats.interests_forwarded += 1
+            upstream.send(fwd)
+
+    @staticmethod
+    def _subtract(total: ByteRange, covered: list[ByteRange]) -> list[ByteRange]:
+        from repro.common.ranges import RangeSet
+
+        remaining = RangeSet([total])
+        for rng in covered:
+            remaining.remove(rng)
+        return remaining.intervals()
+
+    # ------------------------------------------------------------------
+    # Data and VPHs (from upstream)
+    # ------------------------------------------------------------------
+
+    def _on_data(self, packet: DataPacket, link: Link) -> None:
+        cfg = self.config
+        now = self.sim.now
+        state = self._flow(packet.flow_id)
+        if packet.is_header:
+            self.stats.vph_received += 1
+        else:
+            self.stats.data_received += 1
+            # Requester-side hopRTT sample for the upstream hop.
+            if cfg.hop_by_hop_cc:
+                sample = max(now - packet.timestamp, 0.0) + packet.echo_interest_owd
+                if sample > 0:
+                    state.cc.on_data(packet.payload_bytes, sample)
+        if cfg.enable_cache:
+            actions = state.shr.on_packet(packet.range)
+            # VPHs go downstream ahead of the triggering packet.
+            if cfg.enable_vph:
+                for hole in actions.announce:
+                    vph = DataPacket(
+                        packet.flow_id, hole, timestamp=now, is_header=True,
+                    )
+                    if state.downstream_link is not None:
+                        state.sender.enqueue(vph, state.downstream_link)
+            # Confirmed holes are re-requested from the upstream neighbour.
+            for hole in actions.request:
+                self._send_retx_interest(state, packet.flow_id, hole)
+            if not packet.is_header:
+                self.cache.store(packet.flow_id, packet.range, packet.origin_ts)
+        if state.downstream_link is not None:
+            if not packet.is_header and state.queued.contains(packet.range):
+                return  # an identical copy is already queued for downstream
+            if not packet.is_header:
+                state.queued.add(packet.range)
+                if not state.sender.enqueue(packet, state.downstream_link):
+                    state.queued.remove(packet.range)
+            else:
+                state.sender.enqueue(packet, state.downstream_link)
+
+    def _send_retx_interest(
+        self, state: _FlowState, flow_id: str, hole: ByteRange
+    ) -> None:
+        upstream = state.upstream_link or self._upstream_for(flow_id)
+        rate = (
+            state.cc.sending_rate_bytes_s()
+            if self.config.hop_by_hop_cc
+            else state.last_downstream_rate
+        )
+        for chunk in hole.split(self.config.mss):
+            interest = Interest(
+                flow_id, chunk, timestamp=self.sim.now,
+                send_rate_bytes_s=rate, is_retransmission=True,
+            )
+            self.stats.retx_interests_sent += 1
+            upstream.send(interest)

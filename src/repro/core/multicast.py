@@ -1,0 +1,131 @@
+"""Multicast extension: Interest aggregation and data fan-out (paper Sec. VII).
+
+The paper observes that LEOTP's information-centric model gives multicast
+"inherently": when several Consumers request the same FlowID, Midnode
+caches answer duplicate Interests locally, and pending duplicate
+Interests can be *aggregated* so each piece of data crosses the upstream
+path only once.  This module implements that discussion as a
+:class:`MulticastMidnode`:
+
+* a Pending Interest Table (PIT) records which downstream links asked
+  for each in-flight range; duplicate Interests are absorbed instead of
+  forwarded (retransmission Interests always pass — reliability first);
+* arriving Data is fanned out to every PIT-registered downstream, each
+  through its own paced sender;
+* everything else (SHR, VPH, caching, hop congestion control) is
+  inherited from the unicast :class:`~repro.core.midnode.Midnode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.ranges import ByteRange
+from repro.core.config import LeotpConfig
+from repro.core.midnode import Midnode
+from repro.core.paced import PacedSender
+from repro.core.wire import DataPacket, Interest
+from repro.netsim.link import Link
+from repro.simcore.simulator import Simulator
+
+
+@dataclass
+class _PitEntry:
+    rng: ByteRange
+    downstreams: list[Link] = field(default_factory=list)
+    created_at: float = 0.0
+
+
+class MulticastMidnode(Midnode):
+    """A Midnode that aggregates duplicate Interests and fans out Data."""
+
+    PIT_TIMEOUT_S = 2.0
+
+    def __init__(
+        self, sim: Simulator, name: str, config: LeotpConfig = LeotpConfig()
+    ) -> None:
+        super().__init__(sim, name, config)
+        # PIT: (flow_id, range_start) -> entry.  Ranges are MSS-chunked at
+        # the Consumers, so exact-start matching covers the common case.
+        self._pit: dict[tuple[str, int], _PitEntry] = {}
+        # One paced sender per (flow, downstream link) for fan-out.
+        self._fanout_senders: dict[tuple[str, int], PacedSender] = {}
+        self.interests_aggregated = 0
+        self.fanout_packets = 0
+
+    # ------------------------------------------------------------------
+
+    def _fanout_sender(self, flow_id: str, link: Link, state) -> PacedSender:
+        key = (flow_id, id(link))
+        sender = self._fanout_senders.get(key)
+        if sender is None:
+            sender = PacedSender(
+                self.sim,
+                stamp=lambda pkt: self._stamp(state, pkt),
+                paced=self.config.hop_by_hop_cc,
+                burst_bytes=3.0 * self.config.data_packet_bytes,
+                name=f"{self.name}:{flow_id}:fanout{id(link) % 1000}",
+            )
+            self._fanout_senders[key] = sender
+        return sender
+
+    def _on_interest(self, interest: Interest, link: Link) -> None:
+        if interest.is_retransmission:
+            # Recovery traffic never waits behind the PIT.
+            super()._on_interest(interest, link)
+            return
+        key = (interest.flow_id, interest.range.start)
+        entry = self._pit.get(key)
+        now = self.sim.now
+        downstream = link.reply_link
+        if (
+            entry is not None
+            and entry.rng == interest.range
+            and now - entry.created_at < self.PIT_TIMEOUT_S
+        ):
+            # Another consumer already has this range in flight through us:
+            # absorb the duplicate, remember who else wants the data.
+            if downstream is not None and downstream not in entry.downstreams:
+                entry.downstreams.append(downstream)
+            self.interests_aggregated += 1
+            # Keep per-downstream rate bookkeeping fresh.
+            if self.config.hop_by_hop_cc and downstream is not None:
+                state = self._flow(interest.flow_id)
+                sender = self._fanout_sender(interest.flow_id, downstream, state)
+                sender.set_rate(interest.send_rate_bytes_s)
+            return
+        # First request for this range: register and process normally
+        # (cache answer or upstream forward).
+        before_cache = self.cache.contains(interest.flow_id, interest.range)
+        if not before_cache and downstream is not None:
+            self._pit[key] = _PitEntry(
+                interest.range, [downstream], created_at=now
+            )
+        super()._on_interest(interest, link)
+
+    def _on_data(self, packet: DataPacket, link: Link) -> None:
+        # Serve every PIT-registered downstream beyond the primary one.
+        entry = self._pit.pop((packet.flow_id, packet.range.start), None)
+        super()._on_data(packet, link)
+        if packet.is_header or entry is None:
+            return
+        state = self._flow(packet.flow_id)
+        primary = state.downstream_link
+        for downstream in entry.downstreams:
+            if downstream is primary:
+                continue  # already served by the unicast path
+            sender = self._fanout_sender(packet.flow_id, downstream, state)
+            self.fanout_packets += 1
+            sender.enqueue(packet, downstream)
+
+    def expire_pit(self) -> int:
+        """Drop PIT entries older than the timeout.  Returns count dropped."""
+        now = self.sim.now
+        stale = [
+            key
+            for key, entry in self._pit.items()
+            if now - entry.created_at >= self.PIT_TIMEOUT_S
+        ]
+        for key in stale:
+            del self._pit[key]
+        return len(stale)

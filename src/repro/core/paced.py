@@ -1,0 +1,100 @@
+"""The Responder's sending buffer and token-bucket drain loop.
+
+Every node that responds with Data (Producer or Midnode) queues outgoing
+packets per flow in a :class:`PacedSender`.  The drain rate is the
+``sendRate`` piggybacked on the latest Interest from the downstream
+Requester (paper Fig. 9); with hop-by-hop control disabled (ablation
+row C) the buffer drains immediately and only endpoints pace.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.core.congestion import TokenBucket
+from repro.core.wire import DataPacket
+from repro.simcore.simulator import Simulator
+
+
+class PacedSender:
+    """FIFO sending buffer drained through a token bucket onto one link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stamp: Callable[[DataPacket], DataPacket],
+        paced: bool = True,
+        initial_rate_bytes_s: float = 125_000.0,
+        burst_bytes: float = 3000.0,
+        max_buffer_bytes: int = 4 << 20,
+        name: str = "paced",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.paced = paced
+        self._stamp = stamp
+        self.bucket = TokenBucket(sim, initial_rate_bytes_s, burst_bytes)
+        self.max_buffer_bytes = max_buffer_bytes
+        self._queue: deque[DataPacket] = deque()
+        self._buffered_bytes = 0
+        self._link = None
+        self._drain_event = None
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_dropped = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Current sending-buffer length (the BL of equation (9))."""
+        return self._buffered_bytes
+
+    @property
+    def backlog_packets(self) -> int:
+        return len(self._queue)
+
+    def set_rate(self, rate_bytes_s: float) -> None:
+        self.bucket.set_rate(max(rate_bytes_s, 1.0))
+
+    def enqueue(self, packet: DataPacket, link) -> bool:
+        """Queue ``packet`` for transmission on ``link``.
+
+        The link argument is remembered: subsequent drains use the most
+        recent one (per-flow senders always target a single neighbour).
+        Returns False when the buffer overflowed.
+        """
+        self._link = link
+        if self._buffered_bytes + packet.size_bytes > self.max_buffer_bytes:
+            self.packets_dropped += 1
+            return False
+        self._queue.append(packet)
+        self._buffered_bytes += packet.size_bytes
+        self._drain()
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _drain(self) -> None:
+        while self._queue:
+            pkt = self._queue[0]
+            if self.paced and not self.bucket.try_consume(pkt.size_bytes):
+                self._schedule_drain(self.bucket.delay_until_available(pkt.size_bytes))
+                return
+            self._queue.popleft()
+            self._buffered_bytes -= pkt.size_bytes
+            out = self._stamp(pkt)
+            self.packets_sent += 1
+            self.bytes_sent += out.size_bytes
+            assert self._link is not None
+            self._link.send(out)
+
+    def _schedule_drain(self, delay: float) -> None:
+        if self._drain_event is not None and not self._drain_event.cancelled:
+            return
+        self._drain_event = self.sim.schedule(max(delay, 1e-6), self._drain_tick)
+
+    def _drain_tick(self) -> None:
+        self._drain_event = None
+        self._drain()

@@ -1,0 +1,69 @@
+"""Experiment harness: one module per figure/table of the paper.
+
+Every module exposes ``run(scale=1.0, seed=0) -> ExperimentResult``; run a
+module directly (``python -m repro.experiments.fig12_plr_throughput``) to
+print its table.  ``ALL_EXPERIMENTS`` maps experiment ids to their run
+callables for programmatic sweeps.
+"""
+
+from repro.experiments import (
+    ablation_parameters,
+    constellation_study,
+    ablation_vph,
+    fig01_bandwidth,
+    fig02_plr_hops,
+    fig03_owd_model,
+    fig04_split_tradeoff,
+    fig05_fluctuation,
+    fig10_retx_owd,
+    fig11_retx_traffic,
+    fig12_plr_throughput,
+    fig13_link_switching,
+    fig14_fluctuation_tradeoff,
+    fig15_fairness,
+    fig16_starlink_no_isl,
+    fig17_starlink_isl,
+    fig18_city_pairs,
+    fig19_cpu_overhead,
+    related_snoop,
+    table2_ablation,
+)
+from repro.experiments.common import (
+    ExperimentResult,
+    FlowMetrics,
+    run_leotp_chain,
+    run_tcp_chain,
+    scaled_duration,
+)
+
+ALL_EXPERIMENTS = {
+    "fig01": fig01_bandwidth.run,
+    "fig02": fig02_plr_hops.run,
+    "fig03": fig03_owd_model.run,
+    "fig04": fig04_split_tradeoff.run,
+    "fig05": fig05_fluctuation.run,
+    "fig10": fig10_retx_owd.run,
+    "fig11": fig11_retx_traffic.run,
+    "fig12": fig12_plr_throughput.run,
+    "fig13": fig13_link_switching.run,
+    "fig14": fig14_fluctuation_tradeoff.run,
+    "fig15": fig15_fairness.run,
+    "fig16": fig16_starlink_no_isl.run,
+    "fig17": fig17_starlink_isl.run,
+    "fig18": fig18_city_pairs.run,
+    "fig19": fig19_cpu_overhead.run,
+    "table2": table2_ablation.run,
+    "ablation_vph": ablation_vph.run,
+    "ablation_params": ablation_parameters.run,
+    "related_snoop": related_snoop.run,
+    "constellation_study": constellation_study.run,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "FlowMetrics",
+    "run_leotp_chain",
+    "run_tcp_chain",
+    "scaled_duration",
+]

@@ -1,0 +1,46 @@
+"""Run experiments from the command line.
+
+Usage::
+
+    python -m repro.experiments                 # run everything at scale 0.5
+    python -m repro.experiments fig12 table2    # run a subset
+    python -m repro.experiments --scale 1.0 fig16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help=f"experiment ids (default: all of {', '.join(ALL_EXPERIMENTS)})",
+    )
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="duration scale factor (default 0.5)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    names = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    for name in names:
+        t0 = time.time()
+        result = ALL_EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        print(result.table())
+        print(f"(wall {time.time() - t0:.0f}s, scale {args.scale})\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

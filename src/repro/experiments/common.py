@@ -1,0 +1,216 @@
+"""Shared experiment infrastructure: runners, result tables, scaling.
+
+Every experiment module exposes ``run(scale=1.0, seed=0) -> ExperimentResult``.
+``scale`` shortens simulated durations (benchmarks use small scales so the
+whole harness completes quickly); the reported numbers in EXPERIMENTS.md
+use ``scale=1.0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core import LeotpConfig, LeotpPath, build_leotp_path
+from repro.netsim.topology import HopSpec
+from repro.netsim.trace import FlowRecorder
+from repro.simcore import RngRegistry, Simulator
+from repro.tcp import FiniteStream, TcpPath, build_e2e_tcp_path, build_split_tcp_path
+
+BASELINE_CCS = ("cubic", "hybla", "westwood", "vegas", "bbr", "pcc")
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of measurements for one figure/table."""
+
+    name: str
+    description: str
+    rows: list[dict] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, **row) -> None:
+        self.rows.append(row)
+
+    def column(self, key: str) -> list:
+        return [row.get(key) for row in self.rows]
+
+    def filtered(self, **match) -> list[dict]:
+        return [
+            row
+            for row in self.rows
+            if all(row.get(k) == v for k, v in match.items())
+        ]
+
+    def to_csv(self) -> str:
+        """Render the rows as CSV (header = union of row keys, in order)."""
+        import csv
+        import io
+
+        keys: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in keys:
+                    keys.append(key)
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=keys)
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        return buf.getvalue()
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (for archiving runs)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+
+    def save(self, directory) -> str:
+        """Write <slug>.csv and return its path."""
+        import os
+        import re
+
+        os.makedirs(directory, exist_ok=True)
+        slug = re.sub(r"[^a-z0-9]+", "_", self.name.lower()).strip("_")
+        path = os.path.join(directory, f"{slug}.csv")
+        with open(path, "w") as fh:
+            fh.write(self.to_csv())
+        return path
+
+    def table(self) -> str:
+        """Render the rows as a fixed-width text table."""
+        if not self.rows:
+            return f"== {self.name} ==\n(no rows)"
+        keys: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in keys:
+                    keys.append(key)
+        widths = {
+            k: max(len(k), *(len(_fmt(r.get(k))) for r in self.rows))
+            for k in keys
+        }
+        lines = [f"== {self.name} ==", self.description]
+        lines.append("  ".join(k.ljust(widths[k]) for k in keys))
+        lines.append("  ".join("-" * widths[k] for k in keys))
+        for row in self.rows:
+            lines.append(
+                "  ".join(_fmt(row.get(k)).ljust(widths[k]) for k in keys)
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class FlowMetrics:
+    """Summary of one measured flow."""
+
+    throughput_mbps: float
+    owd_mean_ms: float
+    owd_p50_ms: float
+    owd_p99_ms: float
+    owd_max_ms: float
+    retx_owd_mean_ms: Optional[float]
+    sender_bytes: int
+    retransmissions: int
+
+
+def metrics_from_recorder(
+    recorder: FlowRecorder,
+    t_start: float,
+    t_end: float,
+    sender_bytes: int = 0,
+    retransmissions: int = 0,
+) -> FlowMetrics:
+    owds = recorder.owds() * 1000.0
+    retx_owds = recorder.owds(retransmitted_only=True) * 1000.0
+    return FlowMetrics(
+        throughput_mbps=recorder.throughput_bps(t_start, t_end) / 1e6,
+        owd_mean_ms=float(owds.mean()) if owds.size else float("nan"),
+        owd_p50_ms=float(np.percentile(owds, 50)) if owds.size else float("nan"),
+        owd_p99_ms=float(np.percentile(owds, 99)) if owds.size else float("nan"),
+        owd_max_ms=float(owds.max()) if owds.size else float("nan"),
+        retx_owd_mean_ms=float(retx_owds.mean()) if retx_owds.size else None,
+        sender_bytes=sender_bytes,
+        retransmissions=retransmissions,
+    )
+
+
+def run_tcp_chain(
+    cc_name: str,
+    hops: Sequence[HopSpec],
+    duration_s: float,
+    seed: int = 0,
+    warmup_fraction: float = 0.2,
+    total_bytes: Optional[int] = None,
+    split: bool = False,
+) -> tuple[FlowMetrics, TcpPath]:
+    """Run one TCP flow (end-to-end or Split) over a chain and measure it."""
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    stream = FiniteStream(total_bytes) if total_bytes else None
+    if split:
+        recorder = FlowRecorder(sim, name=f"split:{cc_name}")
+        path = build_split_tcp_path(
+            sim, rng, list(hops), cc_name, stream=stream, recorder=recorder
+        )
+        sender = path.sender
+    else:
+        built = build_e2e_tcp_path(sim, rng, list(hops), cc_name, stream=stream)
+        recorder, sender, path = built.recorder, built.sender, built
+    sim.run(until=duration_s)
+    warmup = duration_s * warmup_fraction
+    metrics = metrics_from_recorder(
+        recorder, warmup, duration_s,
+        sender_bytes=sender.wire_bytes_sent,
+        retransmissions=sender.retransmissions,
+    )
+    return metrics, path
+
+
+def run_leotp_chain(
+    hops: Sequence[HopSpec],
+    duration_s: float,
+    seed: int = 0,
+    config: Optional[LeotpConfig] = None,
+    coverage: float = 1.0,
+    warmup_fraction: float = 0.2,
+    total_bytes: Optional[int] = None,
+) -> tuple[FlowMetrics, LeotpPath]:
+    """Run one LEOTP flow over a chain and measure it."""
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    path = build_leotp_path(
+        sim, rng, list(hops),
+        config=config or LeotpConfig(),
+        coverage=coverage, total_bytes=total_bytes,
+    )
+    sim.run(until=duration_s)
+    warmup = duration_s * warmup_fraction
+    metrics = metrics_from_recorder(
+        path.recorder, warmup, duration_s,
+        sender_bytes=path.producer.wire_bytes_sent,
+        retransmissions=path.consumer.retransmission_interests,
+    )
+    return metrics, path
+
+
+def scaled_duration(base_s: float, scale: float, minimum_s: float = 3.0) -> float:
+    """Scale an experiment duration, never below a useful minimum."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return max(base_s * scale, minimum_s)

@@ -1,0 +1,54 @@
+"""Fig. 18 — how distance affects LEOTP and the baselines (with ISLs).
+
+Three city pairs of growing distance (Beijing to Hong Kong / Paris /
+New York).  The paper's findings: BBR/PCC delay grows quickly with
+distance while LEOTP stays 15-20 ms above the propagation floor; LEOTP's
+throughput does not degrade with hop count; and 25 % Midnode coverage
+already beats BBR/PCC everywhere, with delay only slightly above full
+coverage.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, scaled_duration
+from repro.experiments.starlink import CITY_PAIRS, run_starlink_flow
+
+PAIRS = ("BJ-HK", "BJ-PR", "BJ-NY")
+VARIANTS = (
+    ("leotp", 1.0),
+    ("leotp-25%", 0.25),
+    ("bbr", None),
+    ("pcc", None),
+    ("cubic", None),
+    ("hybla", None),
+)
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    duration = scaled_duration(60.0, scale, minimum_s=10.0)
+    result = ExperimentResult(
+        "Fig. 18",
+        "Average OWD (ms) and throughput (Mbps) per city pair, with ISLs",
+    )
+    for pair in PAIRS:
+        city_a, city_b = CITY_PAIRS[pair]
+        for label, coverage in VARIANTS:
+            protocol = "leotp" if label.startswith("leotp") else label
+            metrics, ctx = run_starlink_flow(
+                protocol, city_a, city_b, duration, seed=seed,
+                isls_enabled=True,
+                coverage=coverage if coverage is not None else 1.0,
+            )
+            result.add(
+                pair=pair,
+                protocol=label,
+                throughput_mbps=metrics.throughput_mbps,
+                owd_mean_ms=metrics.owd_mean_ms,
+                queuing_delay_ms=metrics.owd_mean_ms - ctx["mean_prop_delay_ms"],
+                hops=ctx["hop_count"],
+            )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().table())

@@ -1,0 +1,52 @@
+"""Table II — ablation of LEOTP's two key modules on three Starlink links.
+
+Rows (paper Sec. V-C):
+  A — full LEOTP;
+  B — hop-by-hop congestion control, no cache (no in-network retx);
+  C — in-network retransmission, endpoint congestion control;
+  D — endpoints only (no Midnodes).
+
+Expected ordering: hop-by-hop CC dominates throughput (A,B >> C,D);
+in-network retransmission trims delay and adds throughput (A >= B,
+C >= D), with the gap growing with distance and loss.
+"""
+
+from __future__ import annotations
+
+from repro.core import LeotpConfig
+from repro.experiments.common import ExperimentResult, scaled_duration
+from repro.experiments.starlink import CITY_PAIRS, run_starlink_flow
+
+PAIRS = ("BJ-HK", "BJ-PR", "BJ-NY")
+ROWS = (
+    ("A", LeotpConfig(), 1.0),
+    ("B", LeotpConfig(enable_cache=False), 1.0),
+    ("C", LeotpConfig(hop_by_hop_cc=False), 1.0),
+    ("D", LeotpConfig(hop_by_hop_cc=False), 0.0),
+)
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    duration = scaled_duration(60.0, scale, minimum_s=10.0)
+    result = ExperimentResult(
+        "Table II",
+        "Ablation: throughput (Mbps) and mean OWD (ms) per configuration",
+    )
+    for pair in PAIRS:
+        city_a, city_b = CITY_PAIRS[pair]
+        for row, config, coverage in ROWS:
+            metrics, ctx = run_starlink_flow(
+                "leotp", city_a, city_b, duration, seed=seed,
+                isls_enabled=True, coverage=coverage, config=config,
+            )
+            result.add(
+                pair=pair,
+                config=row,
+                throughput_mbps=metrics.throughput_mbps,
+                owd_mean_ms=metrics.owd_mean_ms,
+            )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().table())

@@ -1,0 +1,17 @@
+"""TCP <-> LEOTP gateways: the paper's incremental-deployment story."""
+
+from repro.gateway.bridge import (
+    EgressGateway,
+    GatewayPath,
+    IngressGateway,
+    build_gateway_path,
+)
+from repro.gateway.streaming import StreamingProducer
+
+__all__ = [
+    "EgressGateway",
+    "GatewayPath",
+    "IngressGateway",
+    "StreamingProducer",
+    "build_gateway_path",
+]

@@ -1,0 +1,111 @@
+"""A Producer whose content grows over time (streaming ingest).
+
+The plain :class:`~repro.core.producer.Producer` serves a fixed body of
+content.  Gateways bridging TCP into LEOTP (paper Sec. VII, "Compatible
+with TCP") ingest a byte stream as it arrives from the terrestrial
+connection, so Interests may momentarily ask for bytes that do not exist
+yet.  :class:`StreamingProducer` parks such Interests and answers them
+the moment :meth:`append` makes the data available — the pull-based
+equivalent of TCP's "send when the app writes".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.ranges import ByteRange
+from repro.core.config import LeotpConfig
+from repro.core.producer import Producer
+from repro.core.wire import Interest
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.simcore.simulator import Simulator
+
+
+class StreamingProducer(Producer):
+    """A LEOTP Producer fed incrementally by :meth:`append`."""
+
+    MAX_PARKED_INTERESTS = 4096
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        config: LeotpConfig = LeotpConfig(),
+    ) -> None:
+        super().__init__(sim, name, config, content_bytes=0)
+        self._finalised = False
+        # Parked interests: (interest, reply_link), in arrival order.
+        self._parked: list[tuple[Interest, Link]] = []
+        self.parked_peak = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def available_bytes(self) -> int:
+        assert self.content_bytes is not None
+        return self.content_bytes
+
+    @property
+    def finalised(self) -> bool:
+        return self._finalised
+
+    def append(self, nbytes: int) -> None:
+        """Ingest ``nbytes`` of new content and serve any parked Interests."""
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        if self._finalised:
+            raise RuntimeError("cannot append to a finalised stream")
+        assert self.content_bytes is not None
+        self.content_bytes += nbytes
+        self._serve_parked()
+
+    def finalise(self) -> None:
+        """Mark the stream complete: future out-of-range Interests drop."""
+        self._finalised = True
+        self._parked.clear()
+
+    # ------------------------------------------------------------------
+
+    def on_receive(self, packet: Packet, link: Link) -> None:
+        if isinstance(packet, Interest) and self._should_park(packet):
+            if len(self._parked) < self.MAX_PARKED_INTERESTS:
+                self._parked.append((packet, link))
+                self.parked_peak = max(self.parked_peak, len(self._parked))
+            return
+        super().on_receive(packet, link)
+
+    def _should_park(self, interest: Interest) -> bool:
+        assert self.content_bytes is not None
+        return not self._finalised and interest.range.end > self.content_bytes
+
+    def _serve_parked(self) -> None:
+        assert self.content_bytes is not None
+        still_parked: list[tuple[Interest, Link]] = []
+        for interest, link in self._parked:
+            if interest.range.end <= self.content_bytes:
+                super().on_receive(interest, link)
+            elif interest.range.start < self.content_bytes:
+                # Partially available: serve the available prefix now, keep
+                # waiting for the rest.
+                prefix = Interest(
+                    interest.flow_id,
+                    ByteRange(interest.range.start, self.content_bytes),
+                    interest.timestamp,
+                    interest.send_rate_bytes_s,
+                    is_retransmission=interest.is_retransmission,
+                )
+                super().on_receive(prefix, link)
+                still_parked.append((
+                    Interest(
+                        interest.flow_id,
+                        ByteRange(self.content_bytes, interest.range.end),
+                        interest.timestamp,
+                        interest.send_rate_bytes_s,
+                        is_retransmission=interest.is_retransmission,
+                    ),
+                    link,
+                ))
+            else:
+                still_parked.append((interest, link))
+        self._parked = still_parked

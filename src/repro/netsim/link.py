@@ -1,0 +1,261 @@
+"""Unidirectional links with serialisation, propagation, loss, and queueing.
+
+A :class:`Link` models what `tc netem`/Mininet emulate: a token-serialised
+transmitter (``size*8/rate`` per packet), a fixed or mutable propagation
+delay, Bernoulli packet loss, and a finite drop-tail byte queue.  Loss is
+applied after serialisation (the bits were sent but corrupted en route),
+which matches how loss interacts with queue occupancy on real links.
+
+``delay_s`` is a plain attribute so constellation drivers can retune it as
+satellites move; packets already in flight keep the delay they departed
+with, so a shrinking delay can reorder packets — a real LEO phenomenon the
+protocols must tolerate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.netsim.bandwidth import BandwidthProfile, ConstantBandwidth
+from repro.netsim.packet import Packet
+from repro.simcore.simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.node import Node
+
+
+@dataclass
+class LinkStats:
+    """Counters a link accumulates over its lifetime."""
+
+    packets_offered: int = 0
+    packets_delivered: int = 0
+    packets_dropped_queue: int = 0
+    packets_dropped_loss: int = 0
+    packets_dropped_flush: int = 0
+    bytes_offered: int = 0
+    bytes_delivered: int = 0
+    busy_time_s: float = 0.0
+    queue_byte_seconds: float = 0.0  # integral of queue bytes over time
+    max_queue_bytes: int = 0
+    _last_queue_change: float = field(default=0.0, repr=False)
+
+    def utilisation(self, elapsed_s: float) -> float:
+        """Fraction of ``elapsed_s`` spent transmitting."""
+        return self.busy_time_s / elapsed_s if elapsed_s > 0 else 0.0
+
+    def mean_queue_bytes(self, elapsed_s: float) -> float:
+        return self.queue_byte_seconds / elapsed_s if elapsed_s > 0 else 0.0
+
+
+class Link:
+    """One-way link from an implicit upstream sender to ``dst``.
+
+    Args:
+        sim: the shared simulator.
+        dst: receiving node; delivered packets invoke ``dst.receive(pkt, self)``.
+        rate_bps: fixed rate, ignored if ``profile`` is given.
+        delay_s: one-way propagation delay; mutable at runtime.
+        plr: Bernoulli loss probability per packet (applied post-serialisation).
+        queue_bytes: drop-tail queue capacity (excluding the packet in
+            transmission).  ``None`` means unbounded.
+        rng: generator for loss draws; required when ``plr > 0``.
+        profile: optional time-varying bandwidth profile.
+        name: diagnostic label.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dst: "Node",
+        rate_bps: float = 10e6,
+        delay_s: float = 0.01,
+        plr: float = 0.0,
+        queue_bytes: Optional[int] = 256_000,
+        rng: Optional[np.random.Generator] = None,
+        profile: Optional[BandwidthProfile] = None,
+        name: str = "",
+    ) -> None:
+        if not 0 <= plr < 1:
+            raise ValueError(f"plr must be in [0, 1), got {plr}")
+        if delay_s < 0:
+            raise ValueError("delay must be non-negative")
+        if plr > 0 and rng is None:
+            raise ValueError("a loss rng is required when plr > 0")
+        self.sim = sim
+        self.dst = dst
+        self.profile: BandwidthProfile = (
+            profile if profile is not None else ConstantBandwidth(rate_bps)
+        )
+        self.delay_s = delay_s
+        self.plr = plr
+        self.queue_bytes = queue_bytes
+        self.name = name or f"link->{dst.name}"
+        self.reply_link: Optional["Link"] = None  # set by DuplexLink
+        self.stats = LinkStats()
+        self.up = True  # set False to blackhole new packets (path switching)
+        self._rng = rng
+        self._queue: deque[Packet] = deque()
+        self._queued_bytes = 0
+        self._busy = False
+        self._inflight_events: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes waiting in the queue (excluding the packet being serialised)."""
+        return self._queued_bytes
+
+    @property
+    def queued_packets(self) -> int:
+        return len(self._queue)
+
+    def current_rate_bps(self) -> float:
+        return self.profile.rate_at(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def send(self, packet: Packet) -> bool:
+        """Offer ``packet`` to the link.  Returns False if it was dropped
+        immediately (queue overflow or link down)."""
+        self.stats.packets_offered += 1
+        self.stats.bytes_offered += packet.size_bytes
+        if not self.up:
+            self.stats.packets_dropped_flush += 1
+            return False
+        if self._busy:
+            if (
+                self.queue_bytes is not None
+                and self._queued_bytes + packet.size_bytes > self.queue_bytes
+            ):
+                self.stats.packets_dropped_queue += 1
+                return False
+            self._account_queue_change()
+            self._queue.append(packet)
+            self._queued_bytes += packet.size_bytes
+            if self._queued_bytes > self.stats.max_queue_bytes:
+                self.stats.max_queue_bytes = self._queued_bytes
+            return True
+        self._start_transmission(packet)
+        return True
+
+    def flush(self, drop_inflight: bool = False) -> int:
+        """Drop all queued packets (and optionally in-flight ones).
+
+        Models path switching: packets buffered on a departing satellite are
+        lost.  Returns the number of packets dropped.
+        """
+        self._account_queue_change()
+        dropped = len(self._queue)
+        self.stats.packets_dropped_flush += dropped
+        self._queue.clear()
+        self._queued_bytes = 0
+        if drop_inflight:
+            for event in self._inflight_events.values():
+                event.cancel()  # type: ignore[attr-defined]
+            dropped += len(self._inflight_events)
+            self.stats.packets_dropped_flush += len(self._inflight_events)
+            self._inflight_events.clear()
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _account_queue_change(self) -> None:
+        now = self.sim.now
+        self.stats.queue_byte_seconds += self._queued_bytes * (
+            now - self.stats._last_queue_change
+        )
+        self.stats._last_queue_change = now
+
+    def _start_transmission(self, packet: Packet) -> None:
+        self._busy = True
+        rate = self.profile.rate_at(self.sim.now)
+        tx_time = packet.size_bytes * 8.0 / rate
+        self.stats.busy_time_s += tx_time
+        self.sim.schedule(tx_time, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        lost = self.plr > 0 and self._rng is not None and self._rng.random() < self.plr
+        if lost:
+            self.stats.packets_dropped_loss += 1
+        else:
+            event = self.sim.schedule(self.delay_s, self._deliver, packet)
+            self._inflight_events[packet.uid] = event
+        # Pull the next packet from the queue, if any.
+        if self._queue:
+            self._account_queue_change()
+            nxt = self._queue.popleft()
+            self._queued_bytes -= nxt.size_bytes
+            self._start_transmission(nxt)
+        else:
+            self._busy = False
+
+    def _deliver(self, packet: Packet) -> None:
+        self._inflight_events.pop(packet.uid, None)
+        self.stats.packets_delivered += 1
+        self.stats.bytes_delivered += packet.size_bytes
+        packet.hops += 1
+        self.dst.receive(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.name} q={self._queued_bytes}B busy={self._busy}>"
+
+
+class DuplexLink:
+    """A pair of independent unidirectional links between two nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_a: "Node",
+        node_b: "Node",
+        rate_bps: float = 10e6,
+        delay_s: float = 0.01,
+        plr: float = 0.0,
+        queue_bytes: Optional[int] = 256_000,
+        rng_ab: Optional[np.random.Generator] = None,
+        rng_ba: Optional[np.random.Generator] = None,
+        profile_ab: Optional[BandwidthProfile] = None,
+        profile_ba: Optional[BandwidthProfile] = None,
+        name: str = "",
+    ) -> None:
+        label = name or f"{node_a.name}<->{node_b.name}"
+        self.ab = Link(
+            sim, node_b, rate_bps, delay_s, plr, queue_bytes,
+            rng=rng_ab, profile=profile_ab, name=f"{label}:ab",
+        )
+        self.ba = Link(
+            sim, node_a, rate_bps, delay_s, plr, queue_bytes,
+            rng=rng_ba, profile=profile_ba, name=f"{label}:ba",
+        )
+        self.node_a = node_a
+        self.node_b = node_b
+        self.name = label
+        # Receivers answer on the reverse direction of the same duplex;
+        # protocols look this up instead of keeping routing tables.
+        self.ab.reply_link = self.ba
+        self.ba.reply_link = self.ab
+
+    def set_delay(self, delay_s: float) -> None:
+        """Update propagation delay in both directions."""
+        self.ab.delay_s = delay_s
+        self.ba.delay_s = delay_s
+
+    def link_towards(self, node: "Node") -> Link:
+        """The unidirectional link whose destination is ``node``."""
+        if node is self.node_b:
+            return self.ab
+        if node is self.node_a:
+            return self.ba
+        raise ValueError(f"{node.name} is not an endpoint of {self.name}")

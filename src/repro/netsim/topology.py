@@ -1,0 +1,288 @@
+"""Topology builders: chains, dumbbells, and switchable parallel paths.
+
+These wire protocol-agnostic :class:`~repro.netsim.link.DuplexLink` fabric
+between caller-supplied nodes.  Protocol packages provide the node objects
+(TCP endpoints, LEOTP agents, routers); the builders only create links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.netsim.bandwidth import BandwidthProfile
+from repro.netsim.link import DuplexLink, Link
+from repro.netsim.node import Node, Router
+from repro.simcore.random import RngRegistry
+from repro.simcore.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class HopSpec:
+    """Per-hop link parameters.
+
+    ``delay_s`` is the one-way propagation delay of the hop (so the hop RTT
+    is ``2*delay_s`` plus serialisation).  ``profile`` overrides
+    ``rate_bps`` when provided and applies to both directions unless
+    ``profile_reverse`` is also given.
+    """
+
+    rate_bps: float = 20e6
+    delay_s: float = 0.005
+    plr: float = 0.0
+    queue_bytes: Optional[int] = 256_000
+    profile: Optional[BandwidthProfile] = None
+    profile_reverse: Optional[BandwidthProfile] = None
+
+    def scaled(self, **overrides) -> "HopSpec":
+        """A copy with some fields replaced (convenience for sweeps)."""
+        return replace(self, **overrides)
+
+
+def build_chain(
+    sim: Simulator,
+    nodes: Sequence[Node],
+    hops: Sequence[HopSpec],
+    rng: RngRegistry,
+) -> list[DuplexLink]:
+    """Connect ``nodes[i]`` to ``nodes[i+1]`` with ``hops[i]``.
+
+    Loss RNG streams are named per hop and direction, so runs are
+    reproducible and independent of unrelated randomness.
+    """
+    if len(nodes) != len(hops) + 1:
+        raise ValueError(
+            f"need len(nodes) == len(hops)+1, got {len(nodes)} nodes, {len(hops)} hops"
+        )
+    links = []
+    for i, spec in enumerate(hops):
+        duplex = DuplexLink(
+            sim,
+            nodes[i],
+            nodes[i + 1],
+            rate_bps=spec.rate_bps,
+            delay_s=spec.delay_s,
+            plr=spec.plr,
+            queue_bytes=spec.queue_bytes,
+            rng_ab=rng.stream(f"loss:hop{i}:fwd"),
+            rng_ba=rng.stream(f"loss:hop{i}:rev"),
+            profile_ab=spec.profile,
+            profile_ba=(
+                spec.profile_reverse
+                if spec.profile_reverse is not None
+                else spec.profile
+            ),
+            name=f"hop{i}",
+        )
+        links.append(duplex)
+    return links
+
+
+def uniform_chain_specs(
+    n_hops: int,
+    rate_bps: float = 20e6,
+    delay_s: float = 0.005,
+    plr: float = 0.0,
+    queue_bytes: Optional[int] = 256_000,
+) -> list[HopSpec]:
+    """N identical hops — the paper's controlled-environment topology."""
+    if n_hops <= 0:
+        raise ValueError("need at least one hop")
+    return [
+        HopSpec(rate_bps=rate_bps, delay_s=delay_s, plr=plr, queue_bytes=queue_bytes)
+        for _ in range(n_hops)
+    ]
+
+
+@dataclass
+class Dumbbell:
+    """A built dumbbell topology (see :func:`build_dumbbell`)."""
+
+    left_router: Router
+    right_router: Router
+    bottleneck: DuplexLink
+    access_left: list[DuplexLink]
+    access_right: list[DuplexLink]
+
+
+def build_dumbbell(
+    sim: Simulator,
+    senders: Sequence[Node],
+    receivers: Sequence[Node],
+    rng: RngRegistry,
+    bottleneck: HopSpec,
+    access_specs: Optional[Sequence[HopSpec]] = None,
+) -> Dumbbell:
+    """Classic dumbbell: senders -- L ==bottleneck== R -- receivers.
+
+    ``access_specs[i]`` configures *both* the sender-side and receiver-side
+    access link of flow ``i`` (so a flow's extra RTT is split evenly across
+    the two access links).  Routes are installed for sender->receiver and
+    receiver->sender traffic keyed on node names.
+    """
+    if len(senders) != len(receivers):
+        raise ValueError("need one receiver per sender")
+    if access_specs is None:
+        access_specs = [HopSpec(rate_bps=100e6, delay_s=0.001)] * len(senders)
+    if len(access_specs) != len(senders):
+        raise ValueError("need one access spec per flow")
+
+    left = Router(sim, "router-L")
+    right = Router(sim, "router-R")
+    mid = DuplexLink(
+        sim, left, right,
+        rate_bps=bottleneck.rate_bps,
+        delay_s=bottleneck.delay_s,
+        plr=bottleneck.plr,
+        queue_bytes=bottleneck.queue_bytes,
+        rng_ab=rng.stream("loss:bottleneck:fwd"),
+        rng_ba=rng.stream("loss:bottleneck:rev"),
+        profile_ab=bottleneck.profile,
+        profile_ba=bottleneck.profile_reverse or bottleneck.profile,
+        name="bottleneck",
+    )
+    access_left: list[DuplexLink] = []
+    access_right: list[DuplexLink] = []
+    for i, (snd, rcv, spec) in enumerate(zip(senders, receivers, access_specs)):
+        al = DuplexLink(
+            sim, snd, left,
+            rate_bps=spec.rate_bps, delay_s=spec.delay_s, plr=spec.plr,
+            queue_bytes=spec.queue_bytes,
+            rng_ab=rng.stream(f"loss:accessL{i}:fwd"),
+            rng_ba=rng.stream(f"loss:accessL{i}:rev"),
+            name=f"accessL{i}",
+        )
+        ar = DuplexLink(
+            sim, right, rcv,
+            rate_bps=spec.rate_bps, delay_s=spec.delay_s, plr=spec.plr,
+            queue_bytes=spec.queue_bytes,
+            rng_ab=rng.stream(f"loss:accessR{i}:fwd"),
+            rng_ba=rng.stream(f"loss:accessR{i}:rev"),
+            name=f"accessR{i}",
+        )
+        access_left.append(al)
+        access_right.append(ar)
+        # Forward direction: sender -> left -> right -> receiver.
+        left.add_route(rcv.name, mid.ab)
+        right.add_route(rcv.name, ar.ab)
+        # Reverse direction (ACKs): receiver -> right -> left -> sender.
+        right.add_route(snd.name, mid.ba)
+        left.add_route(snd.name, al.ba)
+    return Dumbbell(left, right, mid, access_left, access_right)
+
+
+class SwitchedLink:
+    """Link facade that forwards sends to the currently active member.
+
+    Presents the small part of the :class:`Link` interface protocol agents
+    use (``send``, ``delay_s``, ``stats``-ish counters are reached through
+    the underlying members via :attr:`active`).
+    """
+
+    def __init__(self, path: "SwitchablePath", towards_b: bool) -> None:
+        self._path = path
+        self._towards_b = towards_b
+        self.name = f"{path.name}:{'ab' if towards_b else 'ba'}"
+
+    @property
+    def reply_link(self) -> "SwitchedLink":
+        return self._path.ba if self._towards_b else self._path.ab
+
+    @property
+    def active(self) -> Link:
+        duplex = self._path.active_duplex
+        return duplex.ab if self._towards_b else duplex.ba
+
+    @property
+    def delay_s(self) -> float:
+        return self.active.delay_s
+
+    def send(self, packet) -> bool:
+        return self.active.send(packet)
+
+
+class SwitchablePath:
+    """K parallel duplex links between two nodes; one active at a time.
+
+    Models LEO path switching (Fig. 13): when the active path changes,
+    packets queued (and optionally in flight) on the old path are lost,
+    and the new path typically has a different propagation delay.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_a: Node,
+        node_b: Node,
+        rng: RngRegistry,
+        delays_s: Sequence[float],
+        rate_bps: float = 20e6,
+        plr: float = 0.0,
+        queue_bytes: Optional[int] = 256_000,
+        flush_on_switch: bool = True,
+        drop_inflight_on_switch: bool = True,
+        blackout_s: float = 0.0,
+        name: str = "switchable",
+    ) -> None:
+        if len(delays_s) < 2:
+            raise ValueError("need at least two parallel paths")
+        self.sim = sim
+        self.name = name
+        self.flush_on_switch = flush_on_switch
+        self.drop_inflight_on_switch = drop_inflight_on_switch
+        # Real handovers have a connectivity gap: the new path only comes
+        # up ``blackout_s`` after the old one disappears.
+        self.blackout_s = blackout_s
+        self.duplexes = [
+            DuplexLink(
+                sim, node_a, node_b,
+                rate_bps=rate_bps, delay_s=d, plr=plr, queue_bytes=queue_bytes,
+                rng_ab=rng.stream(f"loss:{name}:p{i}:fwd"),
+                rng_ba=rng.stream(f"loss:{name}:p{i}:rev"),
+                name=f"{name}:path{i}",
+            )
+            for i, d in enumerate(delays_s)
+        ]
+        self.active_index = 0
+        self.switch_count = 0
+        self.ab = SwitchedLink(self, towards_b=True)
+        self.ba = SwitchedLink(self, towards_b=False)
+        self.node_a = node_a
+        self.node_b = node_b
+
+    @property
+    def active_duplex(self) -> DuplexLink:
+        return self.duplexes[self.active_index]
+
+    def switch(self) -> None:
+        """Activate the next path, dropping traffic stranded on the old one."""
+        old = self.active_duplex
+        self.active_index = (self.active_index + 1) % len(self.duplexes)
+        self.switch_count += 1
+        if self.flush_on_switch:
+            old.ab.flush(drop_inflight=self.drop_inflight_on_switch)
+            old.ba.flush(drop_inflight=self.drop_inflight_on_switch)
+        # The departed path is gone: anything later sent into it (e.g. via a
+        # stale learned route) is lost, as on a real link switch.
+        old.ab.up = False
+        old.ba.up = False
+        new = self.active_duplex
+        if self.blackout_s > 0:
+            # Connectivity gap: the incoming path is not usable yet.
+            new.ab.up = False
+            new.ba.up = False
+            self.sim.schedule(self.blackout_s, self._bring_up, new)
+        else:
+            self._bring_up(new)
+
+    @staticmethod
+    def _bring_up(duplex: DuplexLink) -> None:
+        duplex.ab.up = True
+        duplex.ba.up = True
+
+    def link_towards(self, node: Node) -> SwitchedLink:
+        if node is self.node_b:
+            return self.ab
+        if node is self.node_a:
+            return self.ba
+        raise ValueError(f"{node.name} is not an endpoint of {self.name}")

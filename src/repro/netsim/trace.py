@@ -1,0 +1,138 @@
+"""Measurement collection: per-flow delivery records and time series.
+
+Experiments attach a :class:`FlowRecorder` at the receiving endpoint to
+record when each byte range is first delivered and how long it spent in the
+network; the recorder then answers the questions the paper's figures ask
+(mean/percentile OWD, OWD CDFs, throughput over time, retransmitted-packet
+OWD distributions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.simcore.simulator import Simulator
+
+
+@dataclass
+class DeliveryRecord:
+    """One delivered data packet at the receiving endpoint."""
+
+    time: float
+    nbytes: int
+    owd_s: float
+    retransmitted: bool = False
+
+
+class FlowRecorder:
+    """Accumulates per-packet delivery records for one flow."""
+
+    def __init__(self, sim: Simulator, name: str = "flow") -> None:
+        self.sim = sim
+        self.name = name
+        self.records: list[DeliveryRecord] = []
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+
+    def on_delivery(
+        self, nbytes: int, owd_s: float, retransmitted: bool = False
+    ) -> None:
+        now = self.sim.now
+        if self.start_time is None:
+            self.start_time = now
+        self.end_time = now
+        self.records.append(DeliveryRecord(now, nbytes, owd_s, retransmitted))
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.nbytes for r in self.records)
+
+    def throughput_bps(
+        self, t_start: Optional[float] = None, t_end: Optional[float] = None
+    ) -> float:
+        """Goodput over [t_start, t_end] (defaults to first/last delivery)."""
+        if not self.records:
+            return 0.0
+        t0 = self.start_time if t_start is None else t_start
+        t1 = self.end_time if t_end is None else t_end
+        assert t0 is not None and t1 is not None
+        if t1 <= t0:
+            return 0.0
+        nbytes = sum(r.nbytes for r in self.records if t0 <= r.time <= t1)
+        return nbytes * 8.0 / (t1 - t0)
+
+    def owds(self, retransmitted_only: bool = False) -> np.ndarray:
+        vals = [
+            r.owd_s
+            for r in self.records
+            if not retransmitted_only or r.retransmitted
+        ]
+        return np.asarray(vals, dtype=float)
+
+    def owd_mean(self) -> float:
+        owds = self.owds()
+        return float(owds.mean()) if owds.size else float("nan")
+
+    def owd_percentile(self, q: float) -> float:
+        owds = self.owds()
+        return float(np.percentile(owds, q)) if owds.size else float("nan")
+
+    def throughput_timeseries(self, bin_s: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+        """(bin_centers, throughput_bps) histogram of goodput over time."""
+        if not self.records:
+            return np.array([]), np.array([])
+        times = np.array([r.time for r in self.records])
+        sizes = np.array([r.nbytes for r in self.records], dtype=float)
+        t0, t1 = times.min(), times.max()
+        nbins = max(int(np.ceil((t1 - t0) / bin_s)), 1)
+        edges = t0 + np.arange(nbins + 1) * bin_s
+        idx = np.clip(((times - t0) / bin_s).astype(int), 0, nbins - 1)
+        per_bin = np.bincount(idx, weights=sizes, minlength=nbins)
+        centers = edges[:-1] + bin_s / 2
+        return centers, per_bin * 8.0 / bin_s
+
+
+def cdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative probabilities)."""
+    vals = np.sort(np.asarray(values, dtype=float))
+    if vals.size == 0:
+        return vals, vals
+    probs = np.arange(1, vals.size + 1) / vals.size
+    return vals, probs
+
+
+class TimeSeriesProbe:
+    """Periodically samples a callable into (t, value) arrays.
+
+    Used for queue-length and rate traces (Figs. 5, 14, 15).
+    """
+
+    def __init__(self, sim: Simulator, interval_s: float, fn, name: str = "probe"):
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+        self._fn = fn
+        self._interval = interval_s
+        self._schedule()
+
+    def _schedule(self) -> None:
+        self.sim.schedule(self._interval, self._sample)
+
+    def _sample(self) -> None:
+        self.times.append(self.sim.now)
+        self.values.append(float(self._fn()))
+        self._schedule()
+
+    def mean(self, t_start: float = 0.0) -> float:
+        vals = [v for t, v in zip(self.times, self.values) if t >= t_start]
+        return float(np.mean(vals)) if vals else float("nan")

@@ -1,0 +1,15 @@
+"""Discrete-event simulation kernel: clock, events, timers, RNG streams."""
+
+from repro.simcore.event import Event
+from repro.simcore.process import PeriodicProcess, Timer
+from repro.simcore.random import RngRegistry
+from repro.simcore.simulator import SimulationError, Simulator
+
+__all__ = [
+    "Event",
+    "PeriodicProcess",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+]

@@ -1,0 +1,55 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` is a scheduled callback.  Events are ordered by
+``(time, priority, sequence)`` so that simultaneous events fire in a
+deterministic order: first by explicit priority, then by scheduling order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Event:
+    """A cancellable scheduled callback.
+
+    Events are created by :meth:`repro.simcore.simulator.Simulator.schedule`;
+    user code normally only keeps the returned handle to :meth:`cancel` it.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when its time comes.
+
+        Cancelling an already-fired or already-cancelled event is a no-op.
+        """
+        self.cancelled = True
+
+    # Heap ordering -------------------------------------------------------
+
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<Event t={self.time:.6f} {name} {state}>"

@@ -1,0 +1,92 @@
+"""Periodic and one-shot timer helpers built on the simulator kernel."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simcore.event import Event
+from repro.simcore.simulator import Simulator
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    Wraps event (re)scheduling so protocol code can express the common
+    "arm / re-arm / disarm" pattern (e.g. retransmission timeouts) without
+    tracking raw :class:`Event` handles.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute expiry time if armed, else None."""
+        if self.armed:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def arm(self, delay: float) -> None:
+        """(Re)arm the timer ``delay`` seconds from now, replacing any
+        previously armed expiry."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class PeriodicProcess:
+    """Calls ``callback()`` every ``interval`` seconds until stopped.
+
+    The first call fires after ``first_delay`` (default: one interval).
+    The interval may be changed between ticks via :attr:`interval`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], Any],
+        first_delay: Optional[float] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._event: Optional[Event] = None
+        self._stopped = False
+        self._event = sim.schedule(
+            interval if first_delay is None else first_delay, self._tick
+        )
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._event = self._sim.schedule(self.interval, self._tick)

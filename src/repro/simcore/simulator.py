@@ -1,0 +1,163 @@
+"""The discrete-event simulator clock and scheduler.
+
+The simulator is a classic event-heap design: callbacks are scheduled at
+absolute or relative simulated times and executed in non-decreasing time
+order.  All protocol and network components in :mod:`repro` share a single
+:class:`Simulator` instance, which acts as the global, perfectly
+synchronised clock (see DESIGN.md, "Clock model").
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.simcore.event import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid scheduling requests (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Event-driven simulation kernel.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("fires at t=1"))
+        sim.run(until=10.0)
+
+    The kernel guarantees deterministic execution: events at identical
+    timestamps fire ordered by ``priority`` (lower first) and then by
+    scheduling order.
+    """
+
+    def __init__(self) -> None:
+        # Heap entries are (time, priority, seq, event) tuples: tuple
+        # comparison is much cheaper than calling Event.__lt__ millions of
+        # times in packet-heavy simulations.
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._events_executed: int = 0
+        self._running: bool = False
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (for diagnostics/benchmarks)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently in the heap (including cancelled)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event` handle, which may be cancelled.
+        ``delay`` must be non-negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now={self._now})"
+            )
+        event = Event(time, priority, self._seq, callback, args)
+        heapq.heappush(self._heap, (time, priority, self._seq, event))
+        self._seq += 1
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` have executed.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so back-to-back ``run`` calls
+        observe a monotonic clock.  Returns the current simulated time.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                entry = self._heap[0]
+                event = entry[3]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and entry[0] > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._heap)
+                self._now = entry[0]
+                event.callback(*event.args)
+                self._events_executed += 1
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def step(self) -> bool:
+        """Execute exactly one pending event.  Returns False if none remain."""
+        while self._heap:
+            time, _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = time
+            event.callback(*event.args)
+            self._events_executed += 1
+            return True
+        return False
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or None if the heap is empty."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"

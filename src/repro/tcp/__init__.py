@@ -1,0 +1,54 @@
+"""Packet-level TCP baselines: engine, congestion control, Split TCP."""
+
+from repro.tcp.cc import (
+    CC_REGISTRY,
+    BbrCC,
+    CongestionControl,
+    CubicCC,
+    HyblaCC,
+    PccVivaceCC,
+    RenoCC,
+    VegasCC,
+    WestwoodCC,
+    make_cc,
+)
+from repro.tcp.connection import (
+    ByteStream,
+    FiniteStream,
+    InfiniteStream,
+    ProxyStream,
+    TcpReceiver,
+    TcpSender,
+)
+from repro.tcp.flows import TcpPath, build_e2e_tcp_path
+from repro.tcp.segment import DEFAULT_MSS, TCP_HEADER_BYTES, TcpSegment
+from repro.tcp.snoop import SnoopProxy
+from repro.tcp.split import SplitTcpPath, SplitTcpProxy, build_split_tcp_path
+
+__all__ = [
+    "BbrCC",
+    "ByteStream",
+    "CC_REGISTRY",
+    "CongestionControl",
+    "CubicCC",
+    "DEFAULT_MSS",
+    "FiniteStream",
+    "HyblaCC",
+    "InfiniteStream",
+    "PccVivaceCC",
+    "ProxyStream",
+    "RenoCC",
+    "SnoopProxy",
+    "SplitTcpPath",
+    "SplitTcpProxy",
+    "TCP_HEADER_BYTES",
+    "TcpPath",
+    "TcpReceiver",
+    "TcpSegment",
+    "TcpSender",
+    "VegasCC",
+    "WestwoodCC",
+    "build_e2e_tcp_path",
+    "build_split_tcp_path",
+    "make_cc",
+]

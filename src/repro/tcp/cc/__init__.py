@@ -1,0 +1,46 @@
+"""Congestion-control algorithms for the TCP baseline stack."""
+
+from typing import Callable
+
+from repro.tcp.cc.base import CongestionControl, RenoCC
+from repro.tcp.cc.bbr import BbrCC
+from repro.tcp.cc.cubic import CubicCC
+from repro.tcp.cc.hybla import HyblaCC
+from repro.tcp.cc.pcc import PccVivaceCC
+from repro.tcp.cc.vegas import VegasCC
+from repro.tcp.cc.westwood import WestwoodCC
+
+CC_REGISTRY: dict[str, Callable[..., CongestionControl]] = {
+    "reno": RenoCC,
+    "cubic": CubicCC,
+    "hybla": HyblaCC,
+    "westwood": WestwoodCC,
+    "vegas": VegasCC,
+    "bbr": BbrCC,
+    "pcc": PccVivaceCC,
+}
+
+
+def make_cc(name: str, mss: int = 1400) -> CongestionControl:
+    """Instantiate a congestion-control algorithm by registry name."""
+    try:
+        factory = CC_REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown congestion control {name!r}; choose from {sorted(CC_REGISTRY)}"
+        ) from None
+    return factory(mss=mss)
+
+
+__all__ = [
+    "BbrCC",
+    "CC_REGISTRY",
+    "CongestionControl",
+    "CubicCC",
+    "HyblaCC",
+    "PccVivaceCC",
+    "RenoCC",
+    "VegasCC",
+    "WestwoodCC",
+    "make_cc",
+]

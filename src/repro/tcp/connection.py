@@ -1,0 +1,541 @@
+"""Packet-level TCP sender and receiver.
+
+The engine implements the transport behaviours the paper's baselines need:
+
+* cumulative ACKs carrying SACK blocks; the sender runs an RFC 6675-style
+  scoreboard (pipe accounting, loss marking by SACK gap) so loss recovery
+  performs like a modern kernel stack rather than a textbook NewReno;
+* RFC 6298 retransmission timeouts with exponential backoff and Karn's
+  algorithm for RTT sampling (ACKs echo the segment timestamp and its
+  retransmission flag);
+* pluggable congestion control (:mod:`repro.tcp.cc`), supporting both
+  window-based (ACK-clocked) and rate-based (paced) algorithms;
+* byte-stream sources, including the proxy-fed stream Split TCP uses, so
+  per-byte origin timestamps survive proxy hops and end-to-end OWD can be
+  measured across a split path.
+
+A connection handshake is not modelled: every experiment measures
+steady-state bulk transfer where the 1-RTT setup is immaterial.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Callable, Optional
+
+from repro.common.ranges import ByteRange, RangeSet
+from repro.common.rto import RtoEstimator
+from repro.netsim.link import Link
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet
+from repro.netsim.trace import FlowRecorder
+from repro.simcore.process import Timer
+from repro.simcore.simulator import Simulator
+from repro.tcp.segment import DEFAULT_MSS, TcpSegment
+
+# ---------------------------------------------------------------------------
+# Byte-stream sources
+# ---------------------------------------------------------------------------
+
+
+class ByteStream:
+    """What a sender transmits: a byte stream with per-byte timestamps."""
+
+    def available_from(self, seq: int) -> int:
+        """Bytes available to send at stream offset ``seq``."""
+        raise NotImplementedError
+
+    def timestamp_at(self, seq: int) -> Optional[float]:
+        """Origin timestamp of the byte at ``seq`` (None = stamp at send)."""
+        return None
+
+
+class InfiniteStream(ByteStream):
+    """An unbounded bulk-transfer stream (iperf-style)."""
+
+    def available_from(self, seq: int) -> int:
+        return 1 << 40
+
+
+class FiniteStream(ByteStream):
+    """A fixed-size transfer (e.g. the 100 MB file of Fig. 11)."""
+
+    def __init__(self, total_bytes: int) -> None:
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        self.total_bytes = total_bytes
+
+    def available_from(self, seq: int) -> int:
+        return max(self.total_bytes - seq, 0)
+
+
+class ProxyStream(ByteStream):
+    """A stream fed incrementally by an upstream proxy receiver.
+
+    ``push`` appends bytes carrying their *original* first-transmission
+    timestamp; ``timestamp_at`` hands them back in order so downstream
+    segments inherit the end-to-end age of the data they carry.
+    """
+
+    def __init__(self) -> None:
+        self._pushed = 0
+        self._chunks: deque[tuple[int, float]] = deque()  # (end_seq, ts)
+
+    @property
+    def pushed_bytes(self) -> int:
+        return self._pushed
+
+    def push(self, nbytes: int, first_ts: float) -> None:
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        self._pushed += nbytes
+        self._chunks.append((self._pushed, first_ts))
+
+    def available_from(self, seq: int) -> int:
+        return max(self._pushed - seq, 0)
+
+    def timestamp_at(self, seq: int) -> Optional[float]:
+        while self._chunks and self._chunks[0][0] <= seq:
+            self._chunks.popleft()
+        return self._chunks[0][1] if self._chunks else None
+
+    def buffered_bytes(self, consumed_seq: int) -> int:
+        """Bytes pushed but not yet sent by the downstream sender."""
+        return max(self._pushed - consumed_seq, 0)
+
+
+# ---------------------------------------------------------------------------
+# Sender
+# ---------------------------------------------------------------------------
+
+
+class _SegmentState:
+    """Scoreboard entry for one in-flight segment."""
+
+    __slots__ = (
+        "seq", "end", "first_sent", "last_sent", "retx_count",
+        "sacked", "lost", "in_pipe",
+    )
+
+    def __init__(self, seq: int, end: int, first_sent: float) -> None:
+        self.seq = seq
+        self.end = end
+        self.first_sent = first_sent
+        self.last_sent = first_sent
+        self.retx_count = 0
+        self.sacked = False
+        self.lost = False
+        self.in_pipe = False
+
+    @property
+    def length(self) -> int:
+        return self.end - self.seq
+
+
+class TcpSender(Node):
+    """A TCP sending endpoint bound to one destination."""
+
+    LOSS_GAP_BYTES_FACTOR = 3  # SACKed bytes above a hole that mark it lost
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        dst_name: str,
+        out_link: Optional[Link],
+        cc,
+        stream: Optional[ByteStream] = None,
+        mss: int = DEFAULT_MSS,
+        flow_id: Optional[str] = None,
+        start_time: float = 0.0,
+        stop_time: Optional[float] = None,
+    ) -> None:
+        super().__init__(sim, name)
+        self.dst_name = dst_name
+        self.out_link = out_link
+        self.cc = cc
+        self.stream = stream if stream is not None else InfiniteStream()
+        self.mss = mss
+        self.flow_id = flow_id or f"{name}->{dst_name}"
+        self.stop_time = stop_time
+        # Sequence state and scoreboard.
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self._segments: "OrderedDict[int, _SegmentState]" = OrderedDict()
+        self._pipe = 0  # bytes believed in flight (RFC 6675)
+        self._recovery_point: Optional[int] = None
+        # Timers.
+        self.rto = RtoEstimator()
+        self._rto_timer = Timer(sim, self._on_rto)
+        self._pace_pending = False
+        # Stats.
+        self.delivered_total = 0  # cumulative delivered bytes (ack + sack)
+        self.wire_bytes_sent = 0
+        self.data_segments_sent = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+        self.completed_at: Optional[float] = None
+        self._started = False
+        sim.schedule(start_time, self.start)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight_bytes(self) -> int:
+        """Scoreboard pipe: bytes believed to be in the network."""
+        return self._pipe
+
+    @property
+    def in_recovery(self) -> bool:
+        return self._recovery_point is not None
+
+    @property
+    def finished(self) -> bool:
+        return self.completed_at is not None
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._send_loop()
+        self._maybe_schedule_pacing()
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+
+    def _active(self) -> bool:
+        if self.finished:
+            return False
+        return self.stop_time is None or self.sim.now < self.stop_time
+
+    def _paced(self) -> bool:
+        return self.cc.pacing_rate_bps(self.sim.now) is not None
+
+    def _next_lost_segment(self) -> Optional[_SegmentState]:
+        for state in self._segments.values():
+            if state.lost and not state.sacked:
+                return state
+        return None
+
+    def _send_one(self) -> bool:
+        """Send the highest-priority eligible segment.  True if sent."""
+        state = self._next_lost_segment()
+        if state is not None:
+            self._transmit(state, retransmitted=True)
+            return True
+        if self.stream.available_from(self.snd_nxt) > 0:
+            self._send_new_segment()
+            return True
+        return False
+
+    def _send_loop(self) -> None:
+        """ACK-clocked transmission while the window allows."""
+        if not self._active() or self._paced():
+            return
+        while self._pipe + self.mss <= self.cc.cwnd_bytes:
+            if not self._send_one():
+                break
+
+    def _maybe_schedule_pacing(self) -> None:
+        if not self._active() or not self._paced() or self._pace_pending:
+            return
+        rate = self.cc.pacing_rate_bps(self.sim.now)
+        assert rate is not None
+        interval = self.mss * 8.0 / max(rate, 1e3)
+        self._pace_pending = True
+        self.sim.schedule(interval, self._pace_tick)
+
+    def _pace_tick(self) -> None:
+        self._pace_pending = False
+        if not self._active():
+            return
+        if not self._paced():
+            self._send_loop()
+            return
+        if self._pipe + self.mss <= self.cc.cwnd_bytes:
+            self._send_one()
+        self._maybe_schedule_pacing()
+
+    def _send_new_segment(self) -> None:
+        length = min(self.mss, self.stream.available_from(self.snd_nxt))
+        seq, end = self.snd_nxt, self.snd_nxt + length
+        origin_ts = self.stream.timestamp_at(seq)
+        first_sent = origin_ts if origin_ts is not None else self.sim.now
+        state = _SegmentState(seq, end, first_sent)
+        self._segments[seq] = state
+        self.snd_nxt = end
+        self._transmit(state, retransmitted=False)
+
+    def _transmit(self, state: _SegmentState, retransmitted: bool) -> None:
+        seg = TcpSegment(
+            flow_id=self.flow_id,
+            src=self.name,
+            dst=self.dst_name,
+            seq=state.seq,
+            end_seq=state.end,
+            sent_at=self.sim.now,
+            first_sent_at=state.first_sent,
+            retransmitted=retransmitted,
+        )
+        seg.tx_delivered = self.delivered_total
+        self.wire_bytes_sent += seg.size_bytes
+        self.data_segments_sent += 1
+        if retransmitted:
+            self.retransmissions += 1
+            state.retx_count += 1
+            state.lost = False  # back in flight
+        state.last_sent = self.sim.now
+        if not state.in_pipe:
+            state.in_pipe = True
+            self._pipe += state.length
+        if self.out_link is None:
+            raise RuntimeError(f"sender {self.name} has no outgoing link")
+        self.out_link.send(seg)
+        if not self._rto_timer.armed:
+            self._rto_timer.arm(self.rto.rto_s)
+
+    def _remove_from_pipe(self, state: _SegmentState) -> None:
+        if state.in_pipe:
+            state.in_pipe = False
+            self._pipe -= state.length
+
+    # ------------------------------------------------------------------
+    # ACK processing
+    # ------------------------------------------------------------------
+
+    def on_receive(self, packet: Packet, link: Link) -> None:
+        if not isinstance(packet, TcpSegment) or not packet.is_ack:
+            return
+        if packet.flow_id != self.flow_id:
+            return
+        self._process_ack(packet)
+        self._send_loop()
+        self._maybe_schedule_pacing()
+
+    def _process_ack(self, ack: TcpSegment) -> None:
+        now = self.sim.now
+        acked = max(ack.ack_seq - self.snd_una, 0)
+        if acked:
+            self.snd_una = ack.ack_seq
+            for seq in list(self._segments):
+                state = self._segments[seq]
+                if state.end <= self.snd_una:
+                    self._remove_from_pipe(state)
+                    del self._segments[seq]
+                else:
+                    break
+        # Apply SACK information to the scoreboard.  Fully SACKed segments
+        # are removed outright (receiver reneging is not modelled), which
+        # keeps every later scoreboard scan proportional to the number of
+        # holes rather than to the whole window.
+        sack_advanced = False
+        newly_sacked = 0
+        highest_sacked = self.snd_una
+        for start, end in ack.sack_blocks:
+            highest_sacked = max(highest_sacked, end)
+            for state in self._iter_segments_between(start, end):
+                self._remove_from_pipe(state)
+                newly_sacked += state.length
+                sack_advanced = True
+                del self._segments[state.seq]
+        newly_lost = self._mark_lost(highest_sacked) if sack_advanced or acked else 0
+        # RTT sampling (Karn: never from retransmitted segments).
+        rtt = None
+        if ack.echo_ts is not None and not ack.echo_retx:
+            rtt = now - ack.echo_ts
+            if rtt > 0:
+                self.rto.on_sample(rtt)
+        # Delivered = cumulatively ACKed plus newly SACKed (kernel-style
+        # delivery accounting, which rate-based estimators depend on).
+        delivered = acked + newly_sacked
+        self.delivered_total += delivered
+        rate_sample = None
+        if (
+            ack.echo_ts is not None
+            and not ack.echo_retx
+            and ack.echo_delivered is not None
+        ):
+            span = now - ack.echo_ts
+            if span > 0:
+                rate_sample = (self.delivered_total - ack.echo_delivered) * 8.0 / span
+        if delivered:
+            self.cc.on_ack(
+                now, delivered, rtt, self._pipe,
+                in_recovery=self.in_recovery, rate_sample_bps=rate_sample,
+            )
+        else:
+            self.cc.on_dup_ack(now)
+        # Recovery bookkeeping.
+        if newly_lost and not self.in_recovery:
+            self._recovery_point = self.snd_nxt
+            self.cc.on_fast_retransmit(now)
+        if self.in_recovery and self.snd_una >= self._recovery_point:
+            self._recovery_point = None
+        # RTO timer.
+        if self._segments:
+            self._rto_timer.arm(self.rto.rto_s)
+        else:
+            self._rto_timer.cancel()
+        # Completion of finite transfers.
+        if (
+            self.completed_at is None
+            and isinstance(self.stream, FiniteStream)
+            and self.stream.available_from(self.snd_nxt) == 0
+            and not self._segments
+        ):
+            self.completed_at = now
+
+    def _iter_segments_between(self, start: int, end: int) -> list[_SegmentState]:
+        # Scoreboard order is ascending seq (OrderedDict, appends only), so
+        # the scan can stop at the block end; materialise because callers
+        # delete entries while consuming the result.
+        matched = []
+        for state in self._segments.values():
+            if state.seq >= end:
+                break
+            if start <= state.seq and state.end <= end:
+                matched.append(state)
+        return matched
+
+    def _mark_lost(self, highest_sacked: int) -> int:
+        """RFC 6675-style loss inference: a hole with >= 3 MSS of SACKed
+        bytes above it is lost.  Returns the number of newly marked bytes."""
+        threshold = self.LOSS_GAP_BYTES_FACTOR * self.mss
+        newly = 0
+        for state in self._segments.values():
+            if state.seq >= highest_sacked:
+                break
+            if state.sacked or state.lost:
+                continue
+            if state.retx_count > 0:
+                # Already retransmitted once; if the retransmission is also
+                # lost, only the RTO can tell — never re-mark on stale SACKs.
+                continue
+            if highest_sacked - state.end >= threshold:
+                state.lost = True
+                self._remove_from_pipe(state)
+                newly += state.length
+        return newly
+
+    def _on_rto(self) -> None:
+        if not self._segments:
+            return
+        self.timeouts += 1
+        self.cc.on_rto(self.sim.now)
+        self.rto.backoff(2.0)
+        self._recovery_point = None
+        # Everything unSACKed is presumed lost; retransmit from the front.
+        for state in self._segments.values():
+            if not state.sacked:
+                state.lost = True
+                self._remove_from_pipe(state)
+        first = self._next_lost_segment()
+        if first is not None:
+            self._transmit(first, retransmitted=True)
+        self._rto_timer.arm(self.rto.rto_s)
+        self._send_loop()
+        self._maybe_schedule_pacing()
+
+
+# ---------------------------------------------------------------------------
+# Receiver
+# ---------------------------------------------------------------------------
+
+
+class TcpReceiver(Node):
+    """A TCP receiving endpoint: reassembly, cumulative+SACK ACKs, metrics."""
+
+    MAX_SACK_BLOCKS = 16
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        out_link: Optional[Link],
+        recorder: Optional[FlowRecorder] = None,
+        deliver: Optional[Callable[[int, float], None]] = None,
+        flow_id: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim, name)
+        self.out_link = out_link
+        self.recorder = recorder
+        self.deliver = deliver
+        self.flow_id = flow_id
+        self.rcv_next = 0
+        self._received = RangeSet()
+        # Out-of-order chunks pending in-order delivery: seq -> (end, ts).
+        self._pending: dict[int, tuple[int, float]] = {}
+        self.bytes_delivered = 0
+        self.acks_sent = 0
+
+    def on_receive(self, packet: Packet, link: Link) -> None:
+        if not isinstance(packet, TcpSegment) or packet.is_ack:
+            return
+        if self.flow_id is not None and packet.flow_id != self.flow_id:
+            return
+        rng = ByteRange(packet.seq, packet.end_seq)
+        is_new = not self._received.contains(rng)
+        if is_new:
+            if self.recorder is not None:
+                self.recorder.on_delivery(
+                    packet.payload_bytes,
+                    self.sim.now - packet.first_sent_at,
+                    retransmitted=packet.retransmitted,
+                )
+            self._received.add(rng)
+            self._pending[packet.seq] = (packet.end_seq, packet.first_sent_at)
+            self._advance_delivery()
+        self._send_ack(packet)
+
+    def _advance_delivery(self) -> None:
+        new_next = self._received.first_missing_from(self.rcv_next)
+        if new_next > self.rcv_next:
+            delivered = new_next - self.rcv_next
+            self.bytes_delivered += delivered
+            if self.deliver is not None:
+                # Hand contiguous chunks downstream with their origin stamps.
+                pos = self.rcv_next
+                while pos < new_next:
+                    chunk = self._pending.pop(pos, None)
+                    if chunk is None:
+                        # Overlapping retransmission split a chunk; fall back
+                        # to a single delivery stamped now.
+                        self.deliver(new_next - pos, self.sim.now)
+                        break
+                    end, ts = chunk
+                    end = min(end, new_next)
+                    self.deliver(end - pos, ts)
+                    pos = end
+            self.rcv_next = new_next
+        # Garbage-collect stale pending chunks below the frontier.
+        for seq in [s for s in self._pending if s < self.rcv_next]:
+            del self._pending[seq]
+
+    def _sack_blocks(self) -> list[tuple[int, int]]:
+        blocks = []
+        for rng in self._received:
+            if rng.end <= self.rcv_next:
+                continue
+            blocks.append((max(rng.start, self.rcv_next), rng.end))
+            if len(blocks) >= self.MAX_SACK_BLOCKS:
+                break
+        return blocks
+
+    def _send_ack(self, data_seg: TcpSegment) -> None:
+        ack = TcpSegment(
+            flow_id=data_seg.flow_id,
+            src=self.name,
+            dst=data_seg.src,
+            is_ack=True,
+            ack_seq=self.rcv_next,
+            sent_at=self.sim.now,
+            echo_ts=data_seg.sent_at,
+            echo_retx=data_seg.retransmitted,
+        )
+        ack.echo_delivered = data_seg.tx_delivered
+        ack.sack_blocks = self._sack_blocks()
+        self.acks_sent += 1
+        if self.out_link is None:
+            raise RuntimeError(f"receiver {self.name} has no outgoing link")
+        self.out_link.send(ack)

@@ -1,0 +1,84 @@
+"""TCP segment format for the packet-level baseline stack."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.netsim.packet import Packet
+
+TCP_HEADER_BYTES = 40  # IPv4 + TCP header with timestamp option
+DEFAULT_MSS = 1400
+
+
+class TcpSegment(Packet):
+    """A data segment or an ACK.
+
+    Data segments carry the byte range ``[seq, end_seq)``.  ACKs carry the
+    cumulative acknowledgement ``ack_seq`` and echo the timestamp (and
+    retransmission flag) of the segment that triggered them, so the sender
+    can take Karn-compliant RTT samples.
+    """
+
+    __slots__ = (
+        "flow_id",
+        "seq",
+        "end_seq",
+        "is_ack",
+        "ack_seq",
+        "sent_at",
+        "first_sent_at",
+        "retransmitted",
+        "echo_ts",
+        "echo_retx",
+        "sack_blocks",
+        "tx_delivered",
+        "echo_delivered",
+    )
+
+    def __init__(
+        self,
+        flow_id: str,
+        src: str,
+        dst: str,
+        seq: int = 0,
+        end_seq: int = 0,
+        is_ack: bool = False,
+        ack_seq: int = 0,
+        sent_at: float = 0.0,
+        first_sent_at: float = 0.0,
+        retransmitted: bool = False,
+        echo_ts: Optional[float] = None,
+        echo_retx: bool = False,
+    ) -> None:
+        payload = 0 if is_ack else end_seq - seq
+        if payload < 0:
+            raise ValueError(f"invalid segment range [{seq}, {end_seq})")
+        super().__init__(
+            size_bytes=TCP_HEADER_BYTES + payload, src=src, dst=dst,
+            created_at=sent_at,
+        )
+        self.flow_id = flow_id
+        self.seq = seq
+        self.end_seq = end_seq
+        self.is_ack = is_ack
+        self.ack_seq = ack_seq
+        self.sent_at = sent_at
+        self.first_sent_at = first_sent_at
+        self.retransmitted = retransmitted
+        self.echo_ts = echo_ts
+        self.echo_retx = echo_retx
+        self.sack_blocks: list[tuple[int, int]] = []
+        # Delivery-rate sampling (BBR-style): data segments carry the
+        # sender's delivered-counter at transmit time; ACKs echo it back.
+        self.tx_delivered: Optional[int] = None
+        self.echo_delivered: Optional[int] = None
+
+    @property
+    def payload_bytes(self) -> int:
+        return 0 if self.is_ack else self.end_seq - self.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.is_ack:
+            return f"<ACK {self.flow_id} ack={self.ack_seq}>"
+        retx = " retx" if self.retransmitted else ""
+        return f"<SEG {self.flow_id} [{self.seq},{self.end_seq}){retx}>"

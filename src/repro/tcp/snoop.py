@@ -1,0 +1,192 @@
+"""Snoop proxy (Balakrishnan et al.): the classic TCP-aware link agent.
+
+The paper's related work contrasts LEOTP's in-network retransmission with
+the Snoop proxy, which "caches packets for local retransmission and hides
+packet loss from the TCP sender.  However, the proxy does not perform
+loss detection and the local retransmission only happens on the last
+hop."  This module implements that agent so the comparison can be run:
+
+* data segments passing toward the receiver are cached (bounded buffer);
+* duplicate ACKs flowing back are intercepted: if the missing segment is
+  cached, it is retransmitted locally and the duplicate ACK is suppressed
+  so the sender's congestion control never learns about the loss;
+* cumulative ACK progress cleans the cache.
+
+A Snoop agent only helps with loss on its own downstream link — exactly
+the limitation the paper calls out.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.netsim.link import Link
+from repro.netsim.node import Node
+from repro.netsim.packet import Packet
+from repro.simcore.simulator import Simulator
+from repro.tcp.segment import TcpSegment
+
+
+class _SnoopFlow:
+    __slots__ = ("cache", "cached_bytes", "last_ack", "retx_times")
+
+    def __init__(self) -> None:
+        self.cache: "OrderedDict[int, TcpSegment]" = OrderedDict()
+        self.cached_bytes = 0
+        self.last_ack = 0
+        # Per-hole-start time of the last local retransmission (holdoff).
+        self.retx_times: dict[int, float] = {}
+
+
+class SnoopProxy(Node):
+    """A TCP-aware proxy for one hop (typically the lossy last hop).
+
+    Wire with :meth:`connect`: data arriving on ``from_sender`` is relayed
+    onto ``to_receiver``; ACKs arriving on ``from_receiver`` are relayed
+    onto ``to_sender`` (or suppressed when a local retransmission covers
+    the loss).
+    """
+
+    DUP_ACK_TRIGGER = 1  # Snoop retransmits on the first duplicate ACK
+    RETX_HOLDOFF_S = 0.02  # don't re-retransmit the same hole back to back
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cache_bytes: int = 2 << 20,
+    ) -> None:
+        super().__init__(sim, name)
+        self.cache_bytes = cache_bytes
+        self._flows: dict[str, _SnoopFlow] = {}
+        self._to_receiver: Optional[Link] = None
+        self._to_sender: Optional[Link] = None
+        self._from_sender_id: Optional[int] = None
+        self._from_receiver_id: Optional[int] = None
+        # Statistics.
+        self.local_retransmissions = 0
+        self.suppressed_dup_acks = 0
+        self.segments_cached = 0
+
+    def connect(
+        self,
+        from_sender: Link,
+        to_receiver: Link,
+        from_receiver: Link,
+        to_sender: Link,
+    ) -> None:
+        self._from_sender_id = id(from_sender)
+        self._from_receiver_id = id(from_receiver)
+        self._to_receiver = to_receiver
+        self._to_sender = to_sender
+
+    def _flow(self, flow_id: str) -> _SnoopFlow:
+        flow = self._flows.get(flow_id)
+        if flow is None:
+            flow = _SnoopFlow()
+            self._flows[flow_id] = flow
+        return flow
+
+    # ------------------------------------------------------------------
+
+    def on_receive(self, packet: Packet, link: Link) -> None:
+        if not isinstance(packet, TcpSegment):
+            return
+        if id(link) == self._from_sender_id and not packet.is_ack:
+            self._on_data(packet)
+        elif id(link) == self._from_receiver_id and packet.is_ack:
+            self._on_ack(packet)
+        # Anything else (ACKs from the sender side, etc.) is dropped; the
+        # experiments only run one-directional transfers through Snoop.
+
+    def _on_data(self, seg: TcpSegment) -> None:
+        flow = self._flow(seg.flow_id)
+        copy = TcpSegment(
+            flow_id=seg.flow_id, src=seg.src, dst=seg.dst,
+            seq=seg.seq, end_seq=seg.end_seq,
+            sent_at=seg.sent_at, first_sent_at=seg.first_sent_at,
+            retransmitted=seg.retransmitted,
+        )
+        copy.tx_delivered = seg.tx_delivered
+        if seg.seq not in flow.cache:
+            flow.cached_bytes += copy.payload_bytes
+            self.segments_cached += 1
+        flow.cache[seg.seq] = copy
+        while flow.cached_bytes > self.cache_bytes and flow.cache:
+            _, evicted = flow.cache.popitem(last=False)
+            flow.cached_bytes -= evicted.payload_bytes
+        assert self._to_receiver is not None
+        self._to_receiver.send(seg)
+
+    def _ack_gaps(self, ack: TcpSegment) -> list[tuple[int, int]]:
+        """Reception holes the ACK reveals: between the cumulative ACK and
+        each SACK block (and between consecutive blocks)."""
+        gaps = []
+        frontier = ack.ack_seq
+        for start, end in sorted(ack.sack_blocks):
+            if start > frontier:
+                gaps.append((frontier, start))
+            frontier = max(frontier, end)
+        return gaps
+
+    def _gap_cached_segments(
+        self, flow: _SnoopFlow, gap: tuple[int, int]
+    ) -> Optional[list[TcpSegment]]:
+        """Cached segments fully covering ``gap``, or None if any part is
+        missing (then the sender must recover it)."""
+        seq, end = gap
+        segments = []
+        while seq < end:
+            cached = flow.cache.get(seq)
+            if cached is None:
+                return None
+            segments.append(cached)
+            seq = cached.end_seq
+        return segments
+
+    def _on_ack(self, ack: TcpSegment) -> None:
+        flow = self._flow(ack.flow_id)
+        assert self._to_sender is not None
+        now = self.sim.now
+        if ack.ack_seq > flow.last_ack:
+            flow.last_ack = ack.ack_seq
+            for seq in [s for s in flow.cache if flow.cache[s].end_seq <= ack.ack_seq]:
+                flow.cached_bytes -= flow.cache[seq].payload_bytes
+                del flow.cache[seq]
+            flow.retx_times = {
+                s: t for s, t in flow.retx_times.items() if s >= ack.ack_seq
+            }
+        gaps = self._ack_gaps(ack)
+        if not gaps:
+            self._to_sender.send(ack)
+            return
+        # Try to cover every revealed hole from the cache.
+        covered: list[TcpSegment] = []
+        all_covered = True
+        for gap in gaps:
+            segments = self._gap_cached_segments(flow, gap)
+            if segments is None:
+                all_covered = False
+            else:
+                covered.extend(segments)
+        for cached in covered:
+            last = flow.retx_times.get(cached.seq, -1.0)
+            if now - last < self.RETX_HOLDOFF_S:
+                continue
+            flow.retx_times[cached.seq] = now
+            retx = TcpSegment(
+                flow_id=cached.flow_id, src=cached.src, dst=cached.dst,
+                seq=cached.seq, end_seq=cached.end_seq,
+                sent_at=now, first_sent_at=cached.first_sent_at,
+                retransmitted=True,
+            )
+            retx.tx_delivered = cached.tx_delivered
+            self.local_retransmissions += 1
+            assert self._to_receiver is not None
+            self._to_receiver.send(retx)
+        if all_covered:
+            # Every hole is being repaired locally: hide the loss signal.
+            self.suppressed_dup_acks += 1
+            return
+        self._to_sender.send(ack)

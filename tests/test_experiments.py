@@ -1,0 +1,143 @@
+"""Tests for the experiment harness (utilities plus cheap smoke runs)."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import (
+    ExperimentResult,
+    metrics_from_recorder,
+    run_leotp_chain,
+    run_tcp_chain,
+    scaled_duration,
+)
+from repro.netsim.topology import uniform_chain_specs
+from repro.netsim.trace import FlowRecorder
+from repro.simcore import Simulator
+
+
+class TestExperimentResult:
+    def make(self):
+        res = ExperimentResult("T", "demo")
+        res.add(proto="a", thr=1.0)
+        res.add(proto="b", thr=2.0)
+        return res
+
+    def test_add_and_column(self):
+        res = self.make()
+        assert res.column("thr") == [1.0, 2.0]
+
+    def test_filtered(self):
+        res = self.make()
+        assert res.filtered(proto="b")[0]["thr"] == 2.0
+
+    def test_table_renders_all_rows(self):
+        res = self.make()
+        text = res.table()
+        assert "proto" in text and "2.000" in text
+
+    def test_table_handles_missing_keys(self):
+        res = ExperimentResult("T", "demo")
+        res.add(a=1)
+        res.add(b=2)
+        text = res.table()
+        assert "-" in text
+
+    def test_empty_table(self):
+        assert "(no rows)" in ExperimentResult("T", "d").table()
+
+
+class TestScaledDuration:
+    def test_scaling(self):
+        assert scaled_duration(20.0, 0.5) == 10.0
+
+    def test_minimum(self):
+        assert scaled_duration(20.0, 0.01) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scaled_duration(10.0, 0.0)
+
+
+class TestMetrics:
+    def test_metrics_from_recorder(self):
+        sim = Simulator()
+        rec = FlowRecorder(sim)
+        for i in range(10):
+            sim.schedule(1.0 + i, rec.on_delivery, 1000, 0.01 * (i + 1), i % 2 == 0)
+        sim.run()
+        m = metrics_from_recorder(rec, 0.0, 11.0, sender_bytes=123, retransmissions=4)
+        assert m.throughput_mbps == pytest.approx(10_000 * 8 / 11.0 / 1e6)
+        assert m.owd_mean_ms == pytest.approx(55.0)
+        assert m.retx_owd_mean_ms is not None
+        assert m.sender_bytes == 123
+
+
+class TestRunners:
+    def test_run_tcp_chain(self):
+        metrics, path = run_tcp_chain(
+            "reno", uniform_chain_specs(2, rate_bps=10e6), 4.0, seed=1
+        )
+        assert metrics.throughput_mbps > 1.0
+        assert path.sender.wire_bytes_sent > 0
+
+    def test_run_tcp_chain_split(self):
+        metrics, path = run_tcp_chain(
+            "reno", uniform_chain_specs(2, rate_bps=10e6), 4.0, seed=1, split=True
+        )
+        assert metrics.throughput_mbps > 1.0
+
+    def test_run_leotp_chain(self):
+        metrics, path = run_leotp_chain(
+            uniform_chain_specs(2, rate_bps=10e6), 4.0, seed=1
+        )
+        assert metrics.throughput_mbps > 1.0
+        assert path.consumer.bytes_received > 0
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "fig01", "fig02", "fig03", "fig04", "fig05", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+            "fig19", "table2", "ablation_vph", "ablation_params",
+            "related_snoop", "constellation_study",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_fig01_smoke(self):
+        res = ALL_EXPERIMENTS["fig01"](scale=0.05)
+        assert len(res.rows) == 9
+
+    def test_fig03_smoke(self):
+        res = ALL_EXPERIMENTS["fig03"](scale=0.05)
+        e2e = res.filtered(scheme="end-to-end")[0]
+        hbh = res.filtered(scheme="hop-by-hop")[0]
+        assert hbh["p99_ms"] < e2e["p99_ms"]
+
+
+class TestExport:
+    def make(self):
+        res = ExperimentResult("Fig. X", "demo")
+        res.add(proto="a", thr=1.5)
+        res.add(proto="b", thr=2.0, extra="y")
+        return res
+
+    def test_to_csv(self):
+        csv_text = self.make().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "proto,thr,extra"
+        assert lines[1].startswith("a,1.5")
+
+    def test_to_dict_roundtrips_via_json(self):
+        import json
+
+        blob = json.dumps(self.make().to_dict())
+        back = json.loads(blob)
+        assert back["name"] == "Fig. X"
+        assert len(back["rows"]) == 2
+
+    def test_save_writes_csv(self, tmp_path):
+        path = self.make().save(tmp_path)
+        assert path.endswith("fig_x.csv")
+        with open(path) as fh:
+            assert "proto" in fh.read()

@@ -1,0 +1,314 @@
+"""Focused tests for Producer / Consumer / Midnode behaviours."""
+
+import pytest
+
+from repro.common.ranges import ByteRange
+from repro.core import (
+    Consumer,
+    DataPacket,
+    Interest,
+    LeotpConfig,
+    Midnode,
+    Producer,
+    build_leotp_path,
+)
+from repro.netsim.link import DuplexLink
+from repro.netsim.node import SinkNode
+from repro.netsim.topology import uniform_chain_specs
+from repro.simcore import RngRegistry, Simulator
+
+
+def one_hop_pair(sim, config=None, content=None):
+    """Producer <-> Consumer over a single clean hop."""
+    config = config or LeotpConfig()
+    producer = Producer(sim, "prod", config, content_bytes=content)
+    consumer = Consumer(sim, "cons", "flow", config, total_bytes=content)
+    link = DuplexLink(sim, producer, consumer, rate_bps=50e6, delay_s=0.005)
+    consumer.out_link = link.ba
+    return producer, consumer, link
+
+
+class TestProducer:
+    def test_answers_interest_with_data(self):
+        sim = Simulator()
+        producer, consumer, link = one_hop_pair(sim, content=2800)
+        sim.run(until=1.0)
+        assert consumer.finished
+        assert consumer.bytes_received == 2800
+
+    def test_clips_to_content_length(self):
+        sim = Simulator()
+        config = LeotpConfig()
+        producer = Producer(sim, "prod", config, content_bytes=1000)
+        sink = SinkNode(sim, "sink")
+        link = DuplexLink(sim, sink, producer, rate_bps=50e6, delay_s=0.001)
+        link.ab.send(Interest("f", ByteRange(0, 1400), 0.0, 1e6))
+        link.ab.send(Interest("f", ByteRange(2000, 3400), 0.0, 1e6))
+        sim.run(until=1.0)
+        data = [p for p in sink.received if isinstance(p, DataPacket)]
+        assert sum(p.payload_bytes for p in data) == 1000
+
+    def test_re_requested_range_marked_retransmitted(self):
+        sim = Simulator()
+        config = LeotpConfig()
+        producer = Producer(sim, "prod", config)
+        sink = SinkNode(sim, "sink")
+        link = DuplexLink(sim, sink, producer, rate_bps=50e6, delay_s=0.001)
+        link.ab.send(Interest("f", ByteRange(0, 1400), 0.0, 1e6))
+        sim.run(until=0.5)
+        link.ab.send(Interest("f", ByteRange(0, 1400), sim.now, 1e6))
+        sim.run(until=1.0)
+        data = [p for p in sink.received if isinstance(p, DataPacket)]
+        assert [p.retransmitted for p in data] == [False, True]
+        # The retransmitted copy carries the ORIGINAL first-send timestamp.
+        assert data[1].origin_ts == pytest.approx(data[0].origin_ts)
+
+    def test_duplicate_interest_absorbed_while_queued(self):
+        sim = Simulator()
+        config = LeotpConfig()
+        producer = Producer(sim, "prod", config)
+        sink = SinkNode(sim, "sink")
+        link = DuplexLink(sim, sink, producer, rate_bps=50e6, delay_s=0.001)
+        # Two identical interests back to back, with a tiny rate so the
+        # first response is still queued when the second arrives.
+        link.ab.send(Interest("f", ByteRange(0, 1400), 0.0, 100.0))
+        link.ab.send(Interest("f", ByteRange(0, 1400), 0.0, 100.0))
+        sim.run(until=0.2)
+        assert producer.backlog_bytes("f") <= config.data_packet_bytes
+
+    def test_requires_reply_link(self):
+        sim = Simulator()
+        producer = Producer(sim, "prod", LeotpConfig())
+        from repro.netsim.link import Link
+
+        bare = Link(sim, producer, rate_bps=1e6, delay_s=0.001)
+        bare.send(Interest("f", ByteRange(0, 100), 0.0, 1e6))
+        with pytest.raises(RuntimeError):
+            sim.run(until=1.0)
+
+
+class TestConsumer:
+    def test_final_partial_chunk_requested(self):
+        sim = Simulator()
+        producer, consumer, link = one_hop_pair(sim, content=3000)  # 2x1400+200
+        sim.run(until=2.0)
+        assert consumer.finished
+        assert consumer.bytes_received == 3000
+
+    def test_vph_postpones_tr_deadline(self):
+        sim = Simulator()
+        config = LeotpConfig()
+        consumer = Consumer(sim, "cons", "flow", config, total_bytes=1400)
+        sink = SinkNode(sim, "sink")
+        link = DuplexLink(sim, sink, consumer, rate_bps=50e6, delay_s=0.001)
+        consumer.out_link = link.ba
+        sim.run(until=0.05)  # one interest is now outstanding
+        state = next(iter(consumer._outstanding.values()))
+        deadline_before = state.deadline
+        vph = DataPacket("flow", ByteRange(0, 1400), sim.now, is_header=True)
+        link.ab.send(vph)
+        sim.run(until=0.1)
+        assert state.deadline > deadline_before
+        assert consumer.vph_received == 1
+
+    def test_tr_resends_unanswered_interest(self):
+        sim = Simulator()
+        config = LeotpConfig()
+        consumer = Consumer(sim, "cons", "flow", config, total_bytes=1400)
+        sink = SinkNode(sim, "sink")  # black hole: never answers
+        link = DuplexLink(sim, sink, consumer, rate_bps=50e6, delay_s=0.001)
+        consumer.out_link = link.ba
+        sim.run(until=3.0)
+        interests = [p for p in sink.received if isinstance(p, Interest)]
+        assert len(interests) >= 2
+        assert any(i.is_retransmission for i in interests)
+        assert consumer.tr_expirations >= 1
+
+    def test_tr_gives_up_after_max_retries(self):
+        sim = Simulator()
+        config = LeotpConfig(tr_max_retries=2, tr_initial_rto_s=0.1)
+        consumer = Consumer(sim, "cons", "flow", config, total_bytes=1400)
+        sink = SinkNode(sim, "sink")
+        link = DuplexLink(sim, sink, consumer, rate_bps=50e6, delay_s=0.001)
+        consumer.out_link = link.ba
+        sim.run(until=20.0)
+        state = next(iter(consumer._outstanding.values()))
+        assert state.retries == 2
+
+    def test_duplicate_data_not_recorded_twice(self):
+        sim = Simulator()
+        from repro.netsim.trace import FlowRecorder
+
+        config = LeotpConfig()
+        rec = FlowRecorder(sim)
+        consumer = Consumer(sim, "cons", "flow", config, recorder=rec)
+        sink = SinkNode(sim, "sink")
+        link = DuplexLink(sim, sink, consumer, rate_bps=50e6, delay_s=0.001)
+        consumer.out_link = link.ba
+        for _ in range(2):
+            link.ab.send(DataPacket("flow", ByteRange(0, 1400), sim.now))
+        sim.run(until=0.5)
+        assert rec.total_bytes == 1400
+
+    def test_stop_time_halts_activity(self):
+        sim = Simulator()
+        config = LeotpConfig()
+        consumer = Consumer(sim, "cons", "flow", config, stop_time=0.2)
+        sink = SinkNode(sim, "sink")
+        link = DuplexLink(sim, sink, consumer, rate_bps=50e6, delay_s=0.001)
+        consumer.out_link = link.ba
+        sim.run(until=0.2)
+        count_at_stop = consumer.interests_sent
+        sim.run(until=2.0)
+        assert consumer.interests_sent == count_at_stop
+
+
+class TestMidnode:
+    def build_triple(self, sim, config=None):
+        """consumer -- midnode -- producer, individually wired."""
+        config = config or LeotpConfig()
+        producer = Producer(sim, "prod", config)
+        midnode = Midnode(sim, "mid", config)
+        consumer = Consumer(sim, "cons", "flow", config, total_bytes=5 * 1400)
+        up = DuplexLink(sim, producer, midnode, rate_bps=50e6, delay_s=0.005)
+        down = DuplexLink(sim, midnode, consumer, rate_bps=50e6, delay_s=0.005)
+        consumer.out_link = down.ba
+        midnode.set_upstream(up.ba)
+        return producer, midnode, consumer
+
+    def test_forwards_interests_and_data(self):
+        sim = Simulator()
+        producer, midnode, consumer = self.build_triple(sim)
+        sim.run(until=2.0)
+        assert consumer.finished
+        assert midnode.stats.interests_forwarded >= 5
+        assert midnode.stats.data_forwarded >= 5
+
+    def test_cache_answers_re_request_locally(self):
+        sim = Simulator()
+        config = LeotpConfig()
+        producer, midnode, consumer = self.build_triple(sim, config)
+        sim.run(until=2.0)
+        forwarded_before = midnode.stats.interests_forwarded
+        # Re-request a range the midnode has cached.
+        retx = Interest("flow", ByteRange(0, 1400), sim.now, 1e6,
+                        is_retransmission=True)
+        consumer.out_link.send(retx)
+        sim.run(until=3.0)
+        assert midnode.stats.cache_responses >= 1
+        assert midnode.stats.interests_forwarded == forwarded_before
+
+    def test_no_cache_flag_always_forwards(self):
+        sim = Simulator()
+        config = LeotpConfig(enable_cache=False)
+        producer, midnode, consumer = self.build_triple(sim, config)
+        sim.run(until=2.0)
+        retx = Interest("flow", ByteRange(0, 1400), sim.now, 1e6)
+        consumer.out_link.send(retx)
+        sim.run(until=3.0)
+        assert midnode.stats.cache_responses == 0
+        assert midnode.cache.stored_bytes == 0
+
+    def test_requires_upstream_configuration(self):
+        sim = Simulator()
+        config = LeotpConfig()
+        midnode = Midnode(sim, "mid", config)
+        consumer = Consumer(sim, "cons", "flow", config, total_bytes=1400)
+        down = DuplexLink(sim, midnode, consumer, rate_bps=50e6, delay_s=0.001)
+        consumer.out_link = down.ba
+        with pytest.raises(RuntimeError):
+            sim.run(until=1.0)
+
+    def test_per_flow_upstream_routing(self):
+        sim = Simulator()
+        config = LeotpConfig()
+        midnode = Midnode(sim, "mid", config)
+        prod_a = Producer(sim, "pa", config)
+        prod_b = Producer(sim, "pb", config)
+        link_a = DuplexLink(sim, prod_a, midnode, rate_bps=50e6, delay_s=0.001)
+        link_b = DuplexLink(sim, prod_b, midnode, rate_bps=50e6, delay_s=0.001)
+        cons_a = Consumer(sim, "ca", "flow-a", config, total_bytes=1400)
+        cons_b = Consumer(sim, "cb", "flow-b", config, total_bytes=1400)
+        down_a = DuplexLink(sim, midnode, cons_a, rate_bps=50e6, delay_s=0.001)
+        down_b = DuplexLink(sim, midnode, cons_b, rate_bps=50e6, delay_s=0.001)
+        cons_a.out_link = down_a.ba
+        cons_b.out_link = down_b.ba
+        midnode.set_upstream(link_a.ba, flow_id="flow-a")
+        midnode.set_upstream(link_b.ba, flow_id="flow-b")
+        sim.run(until=2.0)
+        assert cons_a.finished and cons_b.finished
+        assert prod_a.interests_received > 0
+        assert prod_b.interests_received > 0
+
+    def test_vph_generated_on_hole(self):
+        sim = Simulator()
+        config = LeotpConfig()
+        midnode = Midnode(sim, "mid", config)
+        upstream_sink = SinkNode(sim, "up")
+        downstream_sink = SinkNode(sim, "down")
+        up = DuplexLink(sim, upstream_sink, midnode, rate_bps=50e6, delay_s=0.001)
+        down = DuplexLink(sim, midnode, downstream_sink, rate_bps=50e6, delay_s=0.001)
+        midnode.set_upstream(up.ba)
+        # Teach the midnode its downstream route with one interest.
+        down.ba.send(Interest("flow", ByteRange(0, 1400), 0.0, 1e6))
+        sim.run(until=0.1)
+        # Data arrives with a gap: [0,1400) then [2800,4200).
+        up.ab.send(DataPacket("flow", ByteRange(0, 1400), sim.now))
+        up.ab.send(DataPacket("flow", ByteRange(2800, 4200), sim.now))
+        sim.run(until=0.5)
+        vphs = [
+            p for p in downstream_sink.received
+            if isinstance(p, DataPacket) and p.is_header
+        ]
+        assert len(vphs) == 1
+        assert vphs[0].range == ByteRange(1400, 2800)
+        # VPH must precede the out-of-order packet that triggered it.
+        idx_vph = downstream_sink.received.index(vphs[0])
+        data_oo = [
+            p for p in downstream_sink.received
+            if isinstance(p, DataPacket) and not p.is_header
+            and p.range.start == 2800
+        ][0]
+        assert idx_vph < downstream_sink.received.index(data_oo)
+
+
+class TestEndToEndWiring:
+    def test_build_leotp_path_validates(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            build_leotp_path(sim, RngRegistry(0), [])
+
+    def test_flow_metrics_exposed(self):
+        sim = Simulator()
+        path = build_leotp_path(
+            sim, RngRegistry(1), uniform_chain_specs(2, rate_bps=20e6),
+            total_bytes=14_000,
+        )
+        sim.run(until=5.0)
+        assert path.consumer.finished
+        assert path.producer.data_packets_sent >= 10
+        assert path.midnodes[0].stats.data_received >= 10
+
+
+class TestConsumerDeliveryCallback:
+    def test_in_order_delivery_callback(self):
+        """The deliver callback receives contiguous in-order bytes even when
+        packets arrive out of order."""
+        sim = Simulator()
+        config = LeotpConfig()
+        chunks = []
+        consumer = Consumer(
+            sim, "cons", "flow", config, total_bytes=4200,
+            deliver=lambda n, ts: chunks.append(n),
+        )
+        sink = SinkNode(sim, "sink")
+        link = DuplexLink(sim, sink, consumer, rate_bps=50e6, delay_s=0.001)
+        consumer.out_link = link.ba
+        # Deliver out of order: [1400,2800) before [0,1400).
+        link.ab.send(DataPacket("flow", ByteRange(1400, 2800), 0.0))
+        link.ab.send(DataPacket("flow", ByteRange(0, 1400), 0.0))
+        link.ab.send(DataPacket("flow", ByteRange(2800, 4200), 0.0))
+        sim.run(until=1.0)
+        assert sum(chunks) == 4200
+        # First callback fires only once the head-of-line hole is filled.
+        assert chunks[0] == 2800

@@ -1,0 +1,89 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.ranges import ByteRange, RangeSet
+from repro.core import BlockCache, TokenBucket
+from repro.simcore import Simulator
+
+ranges = st.tuples(
+    st.integers(min_value=0, max_value=20_000),
+    st.integers(min_value=1, max_value=3_000),
+).map(lambda t: ByteRange(t[0], t[0] + t[1]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    stores=st.lists(st.tuples(ranges, st.floats(0, 100)), max_size=20),
+    query=ranges,
+)
+def test_cache_lookup_returns_only_stored_bytes(stores, query):
+    """Every byte a lookup returns must have been stored, results must be
+    disjoint, and all of them must lie inside the queried range."""
+    cache = BlockCache(capacity_bytes=1 << 22, block_bytes=4096)
+    stored = RangeSet()
+    for rng, ts in stores:
+        cache.store("f", rng, ts)
+        stored.add(rng)
+    hits = cache.lookup("f", query)
+    seen = RangeSet()
+    for rng, _ in hits:
+        assert query.contains(rng)
+        assert stored.contains(rng)
+        assert not seen.overlaps(rng), "lookup results overlap"
+        seen.add(rng)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    stores=st.lists(st.tuples(ranges, st.floats(0, 100)), max_size=20),
+    query=ranges,
+)
+def test_cache_lookup_is_complete(stores, query):
+    """A lookup returns *all* cached bytes of the query (no false misses),
+    provided nothing was evicted (capacity is ample here)."""
+    cache = BlockCache(capacity_bytes=1 << 22, block_bytes=4096)
+    stored = RangeSet()
+    for rng, ts in stores:
+        cache.store("f", rng, ts)
+        stored.add(rng)
+    hits = cache.lookup("f", query)
+    total_hit = sum(r.length for r, _ in hits)
+    expected = query.length - sum(
+        h.length for h in stored.missing_within(query)
+    )
+    assert total_hit == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    consumes=st.lists(st.integers(min_value=1, max_value=4_000), max_size=30),
+    rate=st.floats(min_value=100.0, max_value=1e6),
+)
+def test_token_bucket_never_exceeds_budget(consumes, rate):
+    """Tokens granted can never exceed burst + rate * elapsed."""
+    sim = Simulator()
+    burst = 5_000.0
+    bucket = TokenBucket(sim, rate, burst_bytes=burst)
+    granted = 0
+    t = 0.0
+    for i, nbytes in enumerate(consumes):
+        t += 0.01
+        sim.schedule_at(t, lambda: None)
+        sim.run(until=t)
+        if bucket.try_consume(nbytes):
+            granted += nbytes
+        assert granted <= burst + rate * t + 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=1e-4, max_value=5.0), min_size=1, max_size=50))
+def test_rto_estimator_stays_in_bounds(samples):
+    from repro.common.rto import RtoEstimator
+
+    est = RtoEstimator(min_rto_s=0.1, max_rto_s=10.0)
+    for s in samples:
+        est.on_sample(s)
+        assert 0.1 <= est.rto_s <= 10.0
+        assert est.srtt_s is not None and est.srtt_s > 0

@@ -1,0 +1,211 @@
+"""Tests for byte-range algebra, including hypothesis property tests
+against a naive set-of-integers model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.ranges import ByteRange, RangeSet
+
+
+class TestByteRange:
+    def test_length(self):
+        assert ByteRange(10, 25).length == 15
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            ByteRange(5, 5)
+        with pytest.raises(ValueError):
+            ByteRange(7, 3)
+        with pytest.raises(ValueError):
+            ByteRange(-1, 3)
+
+    def test_overlaps(self):
+        a = ByteRange(0, 10)
+        assert a.overlaps(ByteRange(5, 15))
+        assert a.overlaps(ByteRange(9, 10))
+        assert not a.overlaps(ByteRange(10, 20))  # half-open adjacency
+        assert not a.overlaps(ByteRange(20, 30))
+
+    def test_contains(self):
+        assert ByteRange(0, 10).contains(ByteRange(2, 8))
+        assert ByteRange(0, 10).contains(ByteRange(0, 10))
+        assert not ByteRange(0, 10).contains(ByteRange(5, 11))
+
+    def test_intersection(self):
+        assert ByteRange(0, 10).intersection(ByteRange(5, 15)) == ByteRange(5, 10)
+        assert ByteRange(0, 10).intersection(ByteRange(10, 20)) is None
+
+    def test_split(self):
+        parts = list(ByteRange(0, 10).split(4))
+        assert parts == [ByteRange(0, 4), ByteRange(4, 8), ByteRange(8, 10)]
+
+    def test_split_exact_multiple(self):
+        assert list(ByteRange(0, 8).split(4)) == [ByteRange(0, 4), ByteRange(4, 8)]
+
+    def test_split_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            list(ByteRange(0, 10).split(0))
+
+
+class TestRangeSet:
+    def test_empty(self):
+        rs = RangeSet()
+        assert len(rs) == 0
+        assert not rs
+        assert rs.intervals() == []
+
+    def test_add_disjoint(self):
+        rs = RangeSet()
+        rs.add(ByteRange(0, 5))
+        rs.add(ByteRange(10, 15))
+        assert rs.intervals() == [ByteRange(0, 5), ByteRange(10, 15)]
+        assert len(rs) == 10
+
+    def test_add_overlapping_merges(self):
+        rs = RangeSet()
+        rs.add(ByteRange(0, 10))
+        rs.add(ByteRange(5, 15))
+        assert rs.intervals() == [ByteRange(0, 15)]
+
+    def test_add_adjacent_merges(self):
+        rs = RangeSet()
+        rs.add(ByteRange(0, 5))
+        rs.add(ByteRange(5, 10))
+        assert rs.intervals() == [ByteRange(0, 10)]
+
+    def test_add_bridging_merges_three(self):
+        rs = RangeSet([ByteRange(0, 3), ByteRange(6, 9)])
+        rs.add(ByteRange(3, 6))
+        assert rs.intervals() == [ByteRange(0, 9)]
+
+    def test_remove_middle_splits(self):
+        rs = RangeSet([ByteRange(0, 10)])
+        rs.remove(ByteRange(3, 7))
+        assert rs.intervals() == [ByteRange(0, 3), ByteRange(7, 10)]
+
+    def test_remove_edges(self):
+        rs = RangeSet([ByteRange(0, 10)])
+        rs.remove(ByteRange(0, 4))
+        rs.remove(ByteRange(8, 10))
+        assert rs.intervals() == [ByteRange(4, 8)]
+
+    def test_remove_nonexistent_is_noop(self):
+        rs = RangeSet([ByteRange(0, 5)])
+        rs.remove(ByteRange(10, 20))
+        assert rs.intervals() == [ByteRange(0, 5)]
+
+    def test_contains(self):
+        rs = RangeSet([ByteRange(0, 10), ByteRange(20, 30)])
+        assert rs.contains(ByteRange(2, 8))
+        assert rs.contains(ByteRange(0, 10))
+        assert not rs.contains(ByteRange(5, 25))
+        assert not rs.contains(ByteRange(10, 20))
+
+    def test_overlaps(self):
+        rs = RangeSet([ByteRange(10, 20)])
+        assert rs.overlaps(ByteRange(15, 25))
+        assert rs.overlaps(ByteRange(0, 11))
+        assert not rs.overlaps(ByteRange(0, 10))
+        assert not rs.overlaps(ByteRange(20, 30))
+
+    def test_missing_within(self):
+        rs = RangeSet([ByteRange(0, 5), ByteRange(10, 15)])
+        holes = rs.missing_within(ByteRange(0, 20))
+        assert holes == [ByteRange(5, 10), ByteRange(15, 20)]
+
+    def test_missing_within_fully_present(self):
+        rs = RangeSet([ByteRange(0, 20)])
+        assert rs.missing_within(ByteRange(5, 15)) == []
+
+    def test_missing_within_fully_absent(self):
+        rs = RangeSet()
+        assert rs.missing_within(ByteRange(5, 15)) == [ByteRange(5, 15)]
+
+    def test_first_missing_from(self):
+        rs = RangeSet([ByteRange(0, 10), ByteRange(15, 20)])
+        assert rs.first_missing_from(0) == 10
+        assert rs.first_missing_from(10) == 10
+        assert rs.first_missing_from(16) == 20
+        assert rs.first_missing_from(25) == 25
+
+    def test_equality(self):
+        assert RangeSet([ByteRange(0, 5)]) == RangeSet([ByteRange(0, 3), ByteRange(3, 5)])
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests against a naive model
+# ---------------------------------------------------------------------------
+
+ranges = st.tuples(
+    st.integers(min_value=0, max_value=200),
+    st.integers(min_value=1, max_value=40),
+).map(lambda t: ByteRange(t[0], t[0] + t[1]))
+
+operations = st.lists(
+    st.tuples(st.sampled_from(["add", "remove"]), ranges), max_size=40
+)
+
+
+def apply_naive(ops):
+    model = set()
+    for op, rng in ops:
+        points = set(range(rng.start, rng.end))
+        if op == "add":
+            model |= points
+        else:
+            model -= points
+    return model
+
+
+def rangeset_points(rs: RangeSet) -> set:
+    return {b for iv in rs for b in range(iv.start, iv.end)}
+
+
+@settings(max_examples=200, deadline=None)
+@given(operations)
+def test_rangeset_matches_naive_model(ops):
+    rs = RangeSet()
+    for op, rng in ops:
+        if op == "add":
+            rs.add(rng)
+        else:
+            rs.remove(rng)
+    assert rangeset_points(rs) == apply_naive(ops)
+
+
+@settings(max_examples=200, deadline=None)
+@given(operations)
+def test_rangeset_intervals_are_disjoint_and_sorted(ops):
+    rs = RangeSet()
+    for op, rng in ops:
+        (rs.add if op == "add" else rs.remove)(rng)
+    ivs = rs.intervals()
+    for prev, cur in zip(ivs[:-1], ivs[1:]):
+        assert prev.end < cur.start  # disjoint AND non-adjacent (merged)
+
+
+@settings(max_examples=150, deadline=None)
+@given(operations, ranges)
+def test_missing_within_complements_contains(ops, query):
+    rs = RangeSet()
+    for op, rng in ops:
+        (rs.add if op == "add" else rs.remove)(rng)
+    holes = rs.missing_within(query)
+    hole_points = {b for h in holes for b in range(h.start, h.end)}
+    present = rangeset_points(rs)
+    expected = {b for b in range(query.start, query.end) if b not in present}
+    assert hole_points == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(operations, st.integers(min_value=0, max_value=250))
+def test_first_missing_from_matches_model(ops, offset):
+    rs = RangeSet()
+    for op, rng in ops:
+        (rs.add if op == "add" else rs.remove)(rng)
+    present = rangeset_points(rs)
+    expect = offset
+    while expect in present:
+        expect += 1
+    assert rs.first_missing_from(offset) == expect

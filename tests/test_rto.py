@@ -1,0 +1,74 @@
+"""Tests for the RFC 6298 RTO estimator."""
+
+import pytest
+
+from repro.common.rto import RtoEstimator
+
+
+class TestRtoEstimator:
+    def test_initial_rto(self):
+        assert RtoEstimator(initial_rto_s=1.0).rto_s == 1.0
+
+    def test_first_sample_initialises_srtt_and_var(self):
+        est = RtoEstimator(min_rto_s=0.0001)
+        est.on_sample(0.1)
+        assert est.srtt_s == pytest.approx(0.1)
+        assert est.rttvar_s == pytest.approx(0.05)
+        assert est.rto_s == pytest.approx(0.1 + 4 * 0.05)
+
+    def test_subsequent_samples_follow_rfc_formula(self):
+        est = RtoEstimator(min_rto_s=0.0001)
+        est.on_sample(0.1)
+        est.on_sample(0.2)
+        # RTTVAR = 3/4*0.05 + 1/4*|0.1-0.2| = 0.0625
+        # SRTT = 7/8*0.1 + 1/8*0.2 = 0.1125
+        assert est.rttvar_s == pytest.approx(0.0625)
+        assert est.srtt_s == pytest.approx(0.1125)
+        assert est.rto_s == pytest.approx(0.1125 + 4 * 0.0625)
+
+    def test_constant_samples_converge_to_min_rto(self):
+        est = RtoEstimator(min_rto_s=0.2)
+        for _ in range(100):
+            est.on_sample(0.05)
+        # With zero variance the raw RTO approaches SRTT; the floor applies.
+        assert est.rto_s == 0.2
+
+    def test_min_rto_clamp(self):
+        est = RtoEstimator(min_rto_s=0.5)
+        est.on_sample(0.01)
+        assert est.rto_s == 0.5
+
+    def test_max_rto_clamp(self):
+        est = RtoEstimator(max_rto_s=2.0)
+        est.on_sample(10.0)
+        assert est.rto_s == 2.0
+
+    def test_backoff_multiplies(self):
+        est = RtoEstimator(initial_rto_s=1.0, max_rto_s=60.0)
+        est.backoff(2.0)
+        assert est.rto_s == 2.0
+        est.backoff(1.5)
+        assert est.rto_s == 3.0
+
+    def test_backoff_respects_max(self):
+        est = RtoEstimator(initial_rto_s=50.0, max_rto_s=60.0)
+        est.backoff(2.0)
+        assert est.rto_s == 60.0
+
+    def test_backoff_factor_validation(self):
+        with pytest.raises(ValueError):
+            RtoEstimator().backoff(1.0)
+
+    def test_non_positive_sample_rejected(self):
+        with pytest.raises(ValueError):
+            RtoEstimator().on_sample(0.0)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RtoEstimator(min_rto_s=2.0, max_rto_s=1.0)
+
+    def test_sample_counter(self):
+        est = RtoEstimator()
+        est.on_sample(0.1)
+        est.on_sample(0.1)
+        assert est.samples == 2

@@ -1,0 +1,204 @@
+"""Integration tests for the TCP engine over the network substrate."""
+
+import pytest
+
+from repro.netsim.topology import HopSpec, uniform_chain_specs
+from repro.simcore import RngRegistry, Simulator
+from repro.tcp import (
+    FiniteStream,
+    InfiniteStream,
+    ProxyStream,
+    build_e2e_tcp_path,
+    build_split_tcp_path,
+)
+
+
+def run_transfer(n_hops=2, plr=0.0, cc="reno", total=200_000, until=30.0, seed=1,
+                 rate=10e6, delay=0.005):
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    path = build_e2e_tcp_path(
+        sim, rng,
+        uniform_chain_specs(n_hops, rate_bps=rate, delay_s=delay, plr=plr),
+        cc, stream=FiniteStream(total),
+    )
+    sim.run(until=until)
+    return sim, path
+
+
+class TestStreams:
+    def test_infinite_stream(self):
+        assert InfiniteStream().available_from(10**9) > 0
+
+    def test_finite_stream(self):
+        s = FiniteStream(1000)
+        assert s.available_from(0) == 1000
+        assert s.available_from(900) == 100
+        assert s.available_from(2000) == 0
+
+    def test_finite_stream_validation(self):
+        with pytest.raises(ValueError):
+            FiniteStream(0)
+
+    def test_proxy_stream_order_and_timestamps(self):
+        s = ProxyStream()
+        s.push(100, 1.0)
+        s.push(200, 2.0)
+        assert s.available_from(0) == 300
+        assert s.timestamp_at(0) == 1.0
+        assert s.timestamp_at(150) == 2.0
+        assert s.buffered_bytes(250) == 50
+
+    def test_proxy_stream_validation(self):
+        with pytest.raises(ValueError):
+            ProxyStream().push(0, 1.0)
+
+
+class TestCleanTransfer:
+    def test_completes_and_delivers_all_bytes(self):
+        sim, path = run_transfer()
+        assert path.sender.finished
+        assert path.receiver.bytes_delivered == 200_000
+
+    def test_no_retransmissions_without_loss_or_overflow(self):
+        sim, path = run_transfer(total=50_000)
+        assert path.sender.retransmissions == 0
+
+    def test_owd_close_to_propagation(self):
+        sim, path = run_transfer(total=50_000)
+        # 2 hops x 5 ms propagation plus serialisation.
+        assert path.recorder.owd_mean() < 0.030
+
+    def test_throughput_reasonable(self):
+        sim, path = run_transfer(total=2_000_000, until=10.0)
+        elapsed = path.sender.completed_at
+        assert elapsed is not None
+        assert 2_000_000 * 8 / elapsed > 5e6  # > half the 10 Mbps link
+
+
+class TestLossyTransfer:
+    def test_reliable_despite_loss(self):
+        sim, path = run_transfer(n_hops=3, plr=0.02, until=60.0)
+        assert path.sender.finished
+        assert path.receiver.bytes_delivered == 200_000
+
+    def test_retransmissions_occur(self):
+        sim, path = run_transfer(n_hops=3, plr=0.02, until=60.0)
+        assert path.sender.retransmissions > 0
+
+    def test_retransmitted_owd_recorded(self):
+        sim, path = run_transfer(n_hops=3, plr=0.02, until=60.0)
+        retx_owds = path.recorder.owds(retransmitted_only=True)
+        assert len(retx_owds) > 0
+        # Recovered packets carry at least one extra RTT of delay.
+        assert retx_owds.mean() > path.recorder.owds().mean()
+
+    def test_survives_mid_transfer_blackout(self):
+        """Flushing in-flight data mid-transfer must not break reliability."""
+        sim = Simulator()
+        rng = RngRegistry(5)
+        path = build_e2e_tcp_path(
+            sim, rng, uniform_chain_specs(2, rate_bps=10e6, delay_s=0.005),
+            "reno", stream=FiniteStream(500_000),
+        )
+        def blackout():
+            for duplex in path.links:
+                duplex.ab.flush(drop_inflight=True)
+        sim.schedule(0.15, blackout)
+        sim.run(until=40.0)
+        assert path.sender.finished
+        assert path.receiver.bytes_delivered == 500_000
+
+    def test_tail_loss_recovered_by_rto(self):
+        """A transfer whose entire (final) window is lost has no SACK
+        feedback left, so only the retransmission timer can recover it."""
+        sim = Simulator()
+        rng = RngRegistry(6)
+        path = build_e2e_tcp_path(
+            sim, rng, uniform_chain_specs(1, rate_bps=10e6, delay_s=0.005),
+            "reno", stream=FiniteStream(5 * 1400),
+        )
+        # The whole 5-segment transfer fits in the initial window; flush it
+        # all while in flight.
+        sim.schedule(0.004, lambda: path.links[0].ab.flush(drop_inflight=True))
+        sim.run(until=20.0)
+        assert path.sender.timeouts >= 1
+        assert path.sender.finished
+
+    def test_receiver_deduplicates(self):
+        sim, path = run_transfer(n_hops=3, plr=0.05, until=120.0, total=100_000)
+        assert path.receiver.bytes_delivered == 100_000
+
+
+class TestAckPath:
+    def test_ack_loss_tolerated(self):
+        """Lossy reverse path only: cumulative ACKs cover the gaps."""
+        sim = Simulator()
+        rng = RngRegistry(9)
+        # Forward clean; reverse lossy (same plr applies both ways here, so
+        # use a moderate value).
+        path = build_e2e_tcp_path(
+            sim, rng, uniform_chain_specs(2, rate_bps=10e6, delay_s=0.005, plr=0.01),
+            "reno", stream=FiniteStream(150_000),
+        )
+        sim.run(until=60.0)
+        assert path.sender.finished
+
+
+class TestSplitTcp:
+    def test_end_to_end_delivery_through_proxies(self):
+        sim = Simulator()
+        rng = RngRegistry(2)
+        split = build_split_tcp_path(
+            sim, rng, uniform_chain_specs(3, rate_bps=10e6, delay_s=0.005),
+            "reno", stream=FiniteStream(200_000),
+        )
+        sim.run(until=30.0)
+        assert split.receiver.bytes_delivered == 200_000
+
+    def test_owd_spans_whole_path(self):
+        """Bytes carry origin timestamps across proxies, so measured OWD
+        covers all hops, not just the last connection."""
+        sim = Simulator()
+        rng = RngRegistry(2)
+        from repro.netsim.trace import FlowRecorder
+
+        rec = FlowRecorder(sim)
+        split = build_split_tcp_path(
+            sim, rng, uniform_chain_specs(3, rate_bps=10e6, delay_s=0.010),
+            "reno", stream=FiniteStream(100_000), recorder=rec,
+        )
+        sim.run(until=30.0)
+        # 3 hops x 10 ms = 30 ms propagation minimum.
+        assert rec.owd_mean() >= 0.030
+
+    def test_split_beats_e2e_on_lossy_path(self):
+        """The Fig. 4 effect: splitting improves loss-based throughput."""
+        total, until = 400_000, 120.0
+        sim1 = Simulator()
+        e2e = build_e2e_tcp_path(
+            sim1, RngRegistry(3),
+            uniform_chain_specs(4, rate_bps=10e6, delay_s=0.005, plr=0.01),
+            "reno", stream=FiniteStream(total),
+        )
+        sim1.run(until=until)
+        sim2 = Simulator()
+        split = build_split_tcp_path(
+            sim2, RngRegistry(3),
+            uniform_chain_specs(4, rate_bps=10e6, delay_s=0.005, plr=0.01),
+            "reno", stream=FiniteStream(total),
+        )
+        sim2.run(until=until)
+        assert split.receiver.bytes_delivered >= e2e.receiver.bytes_delivered
+
+    def test_proxy_backlog_measurable(self):
+        sim = Simulator()
+        rng = RngRegistry(4)
+        # Fast first hop, slow second: backlog must accumulate at proxy.
+        hops = [
+            HopSpec(rate_bps=50e6, delay_s=0.002),
+            HopSpec(rate_bps=2e6, delay_s=0.002),
+        ]
+        split = build_split_tcp_path(sim, rng, hops, "reno")
+        sim.run(until=3.0)
+        assert split.total_proxy_backlog_bytes > 0

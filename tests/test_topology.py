@@ -1,0 +1,203 @@
+"""Tests for topology builders: chains, dumbbells, switchable paths."""
+
+import pytest
+
+from repro.netsim.node import ChainForwarder, Router, SinkNode, wire_chain_forwarders
+from repro.netsim.packet import Packet
+from repro.netsim.topology import (
+    HopSpec,
+    SwitchablePath,
+    build_chain,
+    build_dumbbell,
+    uniform_chain_specs,
+)
+from repro.simcore import RngRegistry, Simulator
+
+
+class TestHopSpec:
+    def test_scaled_override(self):
+        spec = HopSpec(rate_bps=1e6).scaled(plr=0.1)
+        assert spec.plr == 0.1
+        assert spec.rate_bps == 1e6
+
+    def test_uniform_chain_specs(self):
+        specs = uniform_chain_specs(3, rate_bps=5e6, delay_s=0.02, plr=0.01)
+        assert len(specs) == 3
+        assert all(s.rate_bps == 5e6 and s.plr == 0.01 for s in specs)
+
+    def test_uniform_chain_specs_validation(self):
+        with pytest.raises(ValueError):
+            uniform_chain_specs(0)
+
+
+class TestBuildChain:
+    def test_node_hop_count_mismatch(self):
+        sim = Simulator()
+        nodes = [SinkNode(sim, f"n{i}") for i in range(3)]
+        with pytest.raises(ValueError):
+            build_chain(sim, nodes, [HopSpec()], RngRegistry(0))
+
+    def test_links_connect_consecutive_nodes(self):
+        sim = Simulator()
+        nodes = [SinkNode(sim, f"n{i}") for i in range(3)]
+        links = build_chain(sim, nodes, [HopSpec(), HopSpec()], RngRegistry(0))
+        assert len(links) == 2
+        assert links[0].node_a is nodes[0] and links[0].node_b is nodes[1]
+        assert links[1].node_a is nodes[1] and links[1].node_b is nodes[2]
+
+
+class TestChainForwarder:
+    def test_forwards_in_both_directions(self):
+        sim = Simulator()
+        left = SinkNode(sim, "left")
+        mid = ChainForwarder(sim, "mid")
+        right = SinkNode(sim, "right")
+        links = build_chain(
+            sim, [left, mid, right], uniform_chain_specs(2), RngRegistry(0)
+        )
+        wire_chain_forwarders([left, mid, right], links)
+        links[0].ab.send(Packet(100))  # left -> right direction
+        links[1].ba.send(Packet(100))  # right -> left direction
+        sim.run()
+        assert len(right.received) == 1
+        assert len(left.received) == 1
+        assert mid.packets_forwarded == 2
+
+    def test_endpoint_forwarder_rejected(self):
+        sim = Simulator()
+        fwd = ChainForwarder(sim, "f")
+        other = SinkNode(sim, "s")
+        links = build_chain(sim, [fwd, other], uniform_chain_specs(1), RngRegistry(0))
+        with pytest.raises(ValueError):
+            wire_chain_forwarders([fwd, other], links)
+
+
+class TestRouter:
+    def test_routes_by_destination(self):
+        sim = Simulator()
+        router = Router(sim, "r")
+        a, b = SinkNode(sim, "a"), SinkNode(sim, "b")
+        from repro.netsim.link import Link
+
+        la = Link(sim, a, name="to-a")
+        lb = Link(sim, b, name="to-b")
+        router.add_route("a", la)
+        router.add_route("b", lb)
+        router.receive(Packet(100, dst="b"), la)
+        sim.run()
+        assert len(b.received) == 1 and len(a.received) == 0
+
+    def test_unrouted_counted(self):
+        sim = Simulator()
+        router = Router(sim, "r")
+        router.receive(Packet(100, dst="nowhere"), None)
+        assert router.packets_unrouted == 1
+
+
+class TestDumbbell:
+    def test_bidirectional_paths(self):
+        sim = Simulator()
+        rng = RngRegistry(0)
+        s = [SinkNode(sim, f"s{i}") for i in range(2)]
+        r = [SinkNode(sim, f"r{i}") for i in range(2)]
+        bell = build_dumbbell(sim, s, r, rng, bottleneck=HopSpec(rate_bps=5e6))
+        # Sender 0 -> receiver 0 via left router.
+        bell.access_left[0].ab.send(Packet(100, src="s0", dst="r0"))
+        # Receiver 1 -> sender 1 (reverse).
+        bell.access_right[1].ba.send(Packet(100, src="r1", dst="s1"))
+        sim.run()
+        assert len(r[0].received) == 1
+        assert len(s[1].received) == 1
+
+    def test_flow_count_mismatch(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            build_dumbbell(
+                sim, [SinkNode(sim, "s")], [], RngRegistry(0), HopSpec()
+            )
+
+
+class TestSwitchablePath:
+    def build(self, sim, **kwargs):
+        a, b = SinkNode(sim, "a"), SinkNode(sim, "b")
+        path = SwitchablePath(
+            sim, a, b, RngRegistry(0), delays_s=[0.040, 0.045], **kwargs
+        )
+        return a, b, path
+
+    def test_active_path_carries_traffic(self):
+        sim = Simulator()
+        a, b, path = self.build(sim)
+        path.ab.send(Packet(100))
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_switch_changes_delay(self):
+        sim = Simulator()
+        a, b, path = self.build(sim)
+        assert path.ab.delay_s == 0.040
+        path.switch()
+        assert path.ab.delay_s == 0.045
+        path.switch()
+        assert path.ab.delay_s == 0.040
+        assert path.switch_count == 2
+
+    def test_switch_drops_stranded_packets(self):
+        sim = Simulator()
+        a, b, path = self.build(sim)
+        path.ab.send(Packet(100))
+        sim.run(until=0.01)  # in flight on path 0
+        path.switch()
+        sim.run()
+        assert len(b.received) == 0
+
+    def test_old_path_is_down_after_switch(self):
+        sim = Simulator()
+        a, b, path = self.build(sim)
+        old = path.duplexes[0]
+        path.switch()
+        assert old.ab.up is False
+        assert path.active_duplex.ab.up is True
+
+    def test_reply_link_follows_active_path(self):
+        sim = Simulator()
+        a, b, path = self.build(sim)
+        assert path.ab.reply_link is path.ba
+
+    def test_needs_two_paths(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            SwitchablePath(
+                sim, SinkNode(sim, "a"), SinkNode(sim, "b"),
+                RngRegistry(0), delays_s=[0.04],
+            )
+
+    def test_link_towards(self):
+        sim = Simulator()
+        a, b, path = self.build(sim)
+        assert path.link_towards(b) is path.ab
+        assert path.link_towards(a) is path.ba
+
+
+class TestSwitchBlackout:
+    def test_new_path_down_during_blackout(self):
+        sim = Simulator()
+        a, b = SinkNode(sim, "a"), SinkNode(sim, "b")
+        path = SwitchablePath(
+            sim, a, b, RngRegistry(0), delays_s=[0.04, 0.045], blackout_s=0.1
+        )
+        path.switch()
+        assert path.active_duplex.ab.up is False  # still in the blackout
+        assert path.ab.send(Packet(100)) is False
+        sim.run(until=0.2)
+        assert path.active_duplex.ab.up is True
+        assert path.ab.send(Packet(100)) is True
+
+    def test_zero_blackout_is_instantaneous(self):
+        sim = Simulator()
+        a, b = SinkNode(sim, "a"), SinkNode(sim, "b")
+        path = SwitchablePath(
+            sim, a, b, RngRegistry(0), delays_s=[0.04, 0.045]
+        )
+        path.switch()
+        assert path.active_duplex.ab.up is True

@@ -1,0 +1,104 @@
+"""Tests for measurement collection (FlowRecorder, CDFs, probes)."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.trace import FlowRecorder, TimeSeriesProbe, cdf
+from repro.simcore import Simulator
+
+
+class TestFlowRecorder:
+    def record_at(self, sim, rec, t, nbytes, owd, retx=False):
+        sim.schedule(t - sim.now, rec.on_delivery, nbytes, owd, retx)
+
+    def test_throughput_over_span(self):
+        sim = Simulator()
+        rec = FlowRecorder(sim)
+        for t in [1.0, 2.0, 3.0]:
+            self.record_at(sim, rec, t, 1000, 0.01)
+        sim.run()
+        # 3000 bytes over [1, 3] seconds.
+        assert rec.throughput_bps() == pytest.approx(3000 * 8 / 2.0)
+
+    def test_throughput_with_explicit_window(self):
+        sim = Simulator()
+        rec = FlowRecorder(sim)
+        for t in [1.0, 2.0, 3.0, 4.0]:
+            self.record_at(sim, rec, t, 1000, 0.01)
+        sim.run()
+        assert rec.throughput_bps(2.0, 4.0) == pytest.approx(3000 * 8 / 2.0)
+
+    def test_empty_recorder(self):
+        rec = FlowRecorder(Simulator())
+        assert rec.throughput_bps() == 0.0
+        assert np.isnan(rec.owd_mean())
+
+    def test_owd_statistics(self):
+        sim = Simulator()
+        rec = FlowRecorder(sim)
+        for i, owd in enumerate([0.01, 0.02, 0.03]):
+            self.record_at(sim, rec, 1.0 + i, 100, owd)
+        sim.run()
+        assert rec.owd_mean() == pytest.approx(0.02)
+        assert rec.owd_percentile(50) == pytest.approx(0.02)
+
+    def test_retransmitted_filter(self):
+        sim = Simulator()
+        rec = FlowRecorder(sim)
+        self.record_at(sim, rec, 1.0, 100, 0.01, retx=False)
+        self.record_at(sim, rec, 2.0, 100, 0.09, retx=True)
+        sim.run()
+        assert list(rec.owds(retransmitted_only=True)) == [0.09]
+        assert len(rec.owds()) == 2
+
+    def test_total_bytes(self):
+        sim = Simulator()
+        rec = FlowRecorder(sim)
+        self.record_at(sim, rec, 1.0, 700, 0.01)
+        self.record_at(sim, rec, 2.0, 300, 0.01)
+        sim.run()
+        assert rec.total_bytes == 1000
+
+    def test_timeseries_bins(self):
+        sim = Simulator()
+        rec = FlowRecorder(sim)
+        for t in [0.1, 0.2, 1.5]:
+            self.record_at(sim, rec, t, 1000, 0.01)
+        sim.run()
+        centers, thr = rec.throughput_timeseries(bin_s=1.0)
+        assert len(centers) == 2
+        assert thr[0] == pytest.approx(2000 * 8, rel=0.01)
+        assert thr[1] == pytest.approx(1000 * 8, rel=0.01)
+
+
+class TestCdf:
+    def test_empty(self):
+        xs, ps = cdf(np.array([]))
+        assert len(xs) == 0
+
+    def test_sorted_and_normalised(self):
+        xs, ps = cdf(np.array([3.0, 1.0, 2.0]))
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert ps[-1] == 1.0
+        assert ps[0] == pytest.approx(1 / 3)
+
+
+class TestTimeSeriesProbe:
+    def test_samples_at_interval(self):
+        sim = Simulator()
+        values = iter(range(100))
+        probe = TimeSeriesProbe(sim, 1.0, lambda: next(values))
+        sim.run(until=3.5)
+        assert probe.times == [1.0, 2.0, 3.0]
+        assert probe.values == [0.0, 1.0, 2.0]
+
+    def test_mean_with_start(self):
+        sim = Simulator()
+        values = iter([10, 20, 30])
+        probe = TimeSeriesProbe(sim, 1.0, lambda: next(values))
+        sim.run(until=3.5)
+        assert probe.mean(t_start=2.0) == pytest.approx(25.0)
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeriesProbe(Simulator(), 0.0, lambda: 1)
