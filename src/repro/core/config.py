@@ -45,6 +45,14 @@ class LeotpConfig:
     tr_min_rto_s: float = 0.2
     tr_initial_rto_s: float = 0.5
     tr_max_retries: int = 50
+    # Responder-side retransmission damping: a range re-served from a
+    # cache (or re-served by the Producer) is not served again within this
+    # window, extended by the sending buffer's current drain time.  Kept
+    # below tr_min_rto_s so legitimately spaced TR retries are never
+    # absorbed; what it kills is the storm where a deep recovery backlog
+    # delays data past the RTO and every timeout re-serves bytes that are
+    # already on their way down.
+    responder_retx_suppress_s: float = 0.15
 
     # Hop-by-hop congestion control (Sec. III-C).
     initial_cwnd_packets: int = 10

@@ -89,6 +89,9 @@ class Consumer(Node):
         self.tr_expirations = 0
         self.vph_received = 0
         self.bytes_received = 0
+        self.duplicate_bytes_received = 0  # bytes arriving more than once
+        self.max_outstanding_bytes = 0     # in-flight high-water mark
+        self.max_interest_retries = 0      # worst per-Interest retry count
         self._started = False
         sim.schedule(start_time, self.start)
 
@@ -97,6 +100,16 @@ class Consumer(Node):
     @property
     def finished(self) -> bool:
         return self.completed_at is not None
+
+    @property
+    def delivered_bytes(self) -> int:
+        """Contiguous in-order bytes handed to the application so far."""
+        return self._delivered_next
+
+    @property
+    def outstanding_bytes(self) -> int:
+        """Bytes covered by Interests currently in flight."""
+        return self._outstanding_bytes
 
     def start(self) -> None:
         if self._started:
@@ -205,12 +218,21 @@ class Consumer(Node):
             state = _InterestState(rng, now, self.rto.rto_s)
             self._outstanding[rng.start] = state
             self._outstanding_bytes += rng.length
+            if self._outstanding_bytes > self.max_outstanding_bytes:
+                self.max_outstanding_bytes = self._outstanding_bytes
         else:
             state.last_sent = now
             state.retries += 1
-            state.deadline = now + self.rto.rto_s * (
-                self.config.tr_backoff_factor ** state.retries
+            if state.retries > self.max_interest_retries:
+                self.max_interest_retries = state.retries
+            # Exponential backoff, clamped: during a long outage the
+            # uncapped product would push deadlines minutes out and freeze
+            # recovery long after connectivity returns.
+            timeout = min(
+                self.rto.rto_s * (self.config.tr_backoff_factor ** state.retries),
+                self.rto.max_rto_s,
             )
+            state.deadline = now + timeout
         self.out_link.send(interest)
 
     # ------------------------------------------------------------------
@@ -258,6 +280,7 @@ class Consumer(Node):
         # Delivery accounting (first arrival of each byte only):
         # missing_within() yields exactly the not-yet-received sub-ranges.
         new_bytes = sum(r.length for r in self._received.missing_within(rng))
+        self.duplicate_bytes_received += rng.length - new_bytes
         if new_bytes > 0:
             self.bytes_received += new_bytes
             if self.recorder is not None:

@@ -31,7 +31,7 @@ from repro.common.ranges import ByteRange, RangeSet
 from repro.core.cache import BlockCache
 from repro.core.config import LeotpConfig
 from repro.core.congestion import HopRateController
-from repro.core.paced import PacedSender
+from repro.core.paced import PacedSender, ResendSuppressor
 from repro.core.shr import SeqHoleDetector
 from repro.core.wire import DataPacket, Interest
 from repro.netsim.link import Link
@@ -58,6 +58,11 @@ class _FlowState:
     # fill the buffer with duplicates, starve fresh data behind them, and
     # trigger yet more timeouts — a self-sustaining duplicate storm.
     queued: "RangeSet" = None  # type: ignore[assignment]
+    # Re-serve damping: absorption via ``queued`` only covers in-buffer
+    # time, but after a crash/blackout the recovery backlog delays data
+    # past the Consumer's RTO, and every timeout would re-serve bytes
+    # already in flight — inflating the backlog that caused the timeouts.
+    suppressor: ResendSuppressor = None  # type: ignore[assignment]
 
 
 @dataclass
@@ -72,6 +77,7 @@ class MidnodeStats:
     vph_sent: int = 0
     retx_interests_sent: int = 0
     cache_responses: int = 0
+    crashes: int = 0
 
     def total_operations(self) -> int:
         return (
@@ -124,6 +130,29 @@ class Midnode(Node):
         return link
 
     # ------------------------------------------------------------------
+    # Crash / restart (fault injection)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power-cycle the node: drop the cache and all per-flow soft state.
+
+        This is the scenario the paper's "dummy intermediate node" design
+        targets — everything a Midnode knows (cache contents, learned
+        downstream links, OWD estimates, congestion state, queued packets)
+        can vanish mid-transfer and be rebuilt from subsequent traffic.
+        Upstream wiring survives: it belongs to the routing layer, which
+        re-establishes next hops independently of the transport.
+        """
+        super().crash()
+        self.stats.crashes += 1
+        for state in self._flows.values():
+            state.sender.reset()
+        self._flows.clear()
+        self.cache = BlockCache(
+            self.config.cache_capacity_bytes, self.config.cache_block_bytes
+        )
+
+    # ------------------------------------------------------------------
 
     def _flow(self, flow_id: str) -> _FlowState:
         state = self._flows.get(flow_id)
@@ -149,6 +178,7 @@ class Midnode(Node):
                 cc=cc,
                 sender=sender,
                 queued=RangeSet(),
+                suppressor=ResendSuppressor(self.sim, cfg.responder_retx_suppress_s),
             )
             state_holder.append(state)
             self._flows[flow_id] = state
@@ -161,6 +191,7 @@ class Midnode(Node):
     def _stamp(self, state: _FlowState, pkt: DataPacket) -> DataPacket:
         if not pkt.is_header:
             state.queued.remove(pkt.range)
+            state.suppressor.record(pkt.range)
         if self.config.hop_by_hop_cc:
             out = pkt.forwarded(self.sim.now, state.interest_owd_est)
         else:
@@ -216,6 +247,10 @@ class Midnode(Node):
                     covered.append(rng)
                     if state.queued.contains(rng):
                         continue  # a copy is already queued for downstream
+                    if state.suppressor.suppressed(
+                        rng, state.sender.drain_time_s()
+                    ):
+                        continue  # a copy left the buffer moments ago
                     self.stats.cache_responses += 1
                     response = DataPacket(
                         interest.flow_id, rng, timestamp=now,

@@ -17,6 +17,55 @@ from repro.core.wire import DataPacket
 from repro.simcore.simulator import Simulator
 
 
+class ResendSuppressor:
+    """Remembers when byte ranges last left a sending buffer.
+
+    Responders consult it before re-serving a range from cache: a copy
+    that departed less than ``floor_s`` ago (extended by however long the
+    current backlog takes to drain) is almost certainly still in flight,
+    so serving another is pure amplification.  The floor sits below the
+    Consumer's minimum RTO, so legitimately spaced TR retries always get
+    through; what this suppresses is the recovery-storm regime where
+    queueing delay exceeds the RTO.
+    """
+
+    MAX_ENTRIES = 8192
+
+    def __init__(self, sim: Simulator, floor_s: float) -> None:
+        self.sim = sim
+        self.floor_s = floor_s
+        self._sent: dict[tuple[int, int], float] = {}
+        self.suppressed_count = 0
+
+    def record(self, rng) -> None:
+        if self.floor_s <= 0:
+            return
+        if len(self._sent) >= self.MAX_ENTRIES:
+            self._prune()
+        self._sent[(rng.start, rng.end)] = self.sim.now
+
+    def suppressed(self, rng, extra_window_s: float = 0.0) -> bool:
+        """True if ``rng`` left the buffer within the suppression window."""
+        if self.floor_s <= 0:
+            return False
+        last = self._sent.get((rng.start, rng.end))
+        if last is None:
+            return False
+        window = max(self.floor_s, extra_window_s)
+        if self.sim.now - last < window:
+            self.suppressed_count += 1
+            return True
+        return False
+
+    def _prune(self) -> None:
+        # Anything older than a generous multiple of the floor can never
+        # suppress again (drain-time extensions are transient).
+        horizon = self.sim.now - 100.0 * self.floor_s
+        self._sent = {k: t for k, t in self._sent.items() if t >= horizon}
+        if len(self._sent) >= self.MAX_ENTRIES:  # degenerate clock: hard cap
+            self._sent.clear()
+
+
 class PacedSender:
     """FIFO sending buffer drained through a token bucket onto one link."""
 
@@ -43,6 +92,7 @@ class PacedSender:
         self.packets_sent = 0
         self.bytes_sent = 0
         self.packets_dropped = 0
+        self.max_backlog_bytes = 0  # high-water mark (buffer-bound invariant)
 
     # ------------------------------------------------------------------
 
@@ -54,6 +104,12 @@ class PacedSender:
     @property
     def backlog_packets(self) -> int:
         return len(self._queue)
+
+    def drain_time_s(self) -> float:
+        """How long the current backlog takes to leave at the paced rate."""
+        if not self.paced or self._buffered_bytes == 0:
+            return 0.0
+        return self._buffered_bytes / self.bucket.rate_bytes_s
 
     def set_rate(self, rate_bytes_s: float) -> None:
         self.bucket.set_rate(max(rate_bytes_s, 1.0))
@@ -71,8 +127,24 @@ class PacedSender:
             return False
         self._queue.append(packet)
         self._buffered_bytes += packet.size_bytes
+        if self._buffered_bytes > self.max_backlog_bytes:
+            self.max_backlog_bytes = self._buffered_bytes
         self._drain()
         return True
+
+    def reset(self) -> int:
+        """Discard the buffer and cancel any pending drain (node crash).
+
+        Returns the number of packets thrown away.
+        """
+        dropped = len(self._queue)
+        self.packets_dropped += dropped
+        self._queue.clear()
+        self._buffered_bytes = 0
+        if self._drain_event is not None:
+            self._drain_event.cancel()
+            self._drain_event = None
+        return dropped
 
     # ------------------------------------------------------------------
 

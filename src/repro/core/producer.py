@@ -14,7 +14,7 @@ from typing import Optional
 from repro.common.ranges import ByteRange, RangeSet
 from repro.core.cache import BlockCache
 from repro.core.config import LeotpConfig
-from repro.core.paced import PacedSender
+from repro.core.paced import PacedSender, ResendSuppressor
 from repro.core.wire import DataPacket, Interest
 from repro.netsim.link import Link
 from repro.netsim.node import Node
@@ -43,6 +43,10 @@ class Producer(Node):
         # Interests (TR re-requests racing a queued response) are absorbed
         # instead of amplified.
         self._queued: dict[str, RangeSet] = {}
+        # Re-serve damping (see ResendSuppressor): a range that left the
+        # buffer moments ago is still in flight; serving it again during a
+        # recovery storm only deepens the backlog that caused the timeouts.
+        self._suppressors: dict[str, ResendSuppressor] = {}
         # Statistics (Fig. 11 measures "traffic the server actually sends").
         self.interests_received = 0
         self.wire_bytes_sent = 0
@@ -69,6 +73,9 @@ class Producer(Node):
         queued = self._queued.get(flow_id)
         if queued is not None:
             queued.remove(pkt.range)
+        suppressor = self._suppressors.get(flow_id)
+        if suppressor is not None:
+            suppressor.record(pkt.range)
         origin = pkt.origin_ts if pkt.retransmitted else now
         if not pkt.retransmitted:
             self._origins.setdefault(
@@ -114,10 +121,19 @@ class Producer(Node):
         if rng is None:
             return
         queued = self._queued.setdefault(flow, RangeSet())
+        suppressor = self._suppressors.get(flow)
+        if suppressor is None:
+            suppressor = self._suppressors[flow] = ResendSuppressor(
+                self.sim, self.config.responder_retx_suppress_s
+            )
         for chunk in rng.split(self.config.mss):
             if queued.contains(chunk):
                 continue  # a response for this range is already queued
             retransmitted = served.contains(chunk)
+            if retransmitted and suppressor.suppressed(
+                chunk, sender.drain_time_s()
+            ):
+                continue  # a copy left the buffer moments ago
             origin_ts = now
             if retransmitted:
                 origins = self._origins.get(flow)

@@ -47,6 +47,12 @@ class SeqHoleDetector:
         self._holes: list[_Hole] = []
         self.holes_detected = 0
         self.requests_issued = 0
+        # Unprimed until the first packet: a detector (re)created mid-flow
+        # — a node joining the path, or one whose state was wiped by a
+        # crash — adopts the first offset it observes as its baseline.
+        # Treating everything before it as a hole would trigger a
+        # wholesale re-fetch of the entire delivered prefix.
+        self._primed = False
 
     @property
     def open_holes(self) -> list[ByteRange]:
@@ -56,6 +62,9 @@ class SeqHoleDetector:
         """Feed one received packet (Data or VPH) through Algorithm 1."""
         actions = ShrActions()
         rs, re = rng.start, rng.end
+        if not self._primed:
+            self._primed = True
+            self.last_byte = rs
         if rs > self.last_byte:
             # Case (2): a gap opened in front of this packet.
             hole = ByteRange(self.last_byte, rs)

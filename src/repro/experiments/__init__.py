@@ -10,6 +10,7 @@ from repro.experiments import (
     ablation_parameters,
     constellation_study,
     ablation_vph,
+    chaos_suite,
     fig01_bandwidth,
     fig02_plr_hops,
     fig03_owd_model,
@@ -55,6 +56,7 @@ ALL_EXPERIMENTS = {
     "table2": table2_ablation.run,
     "ablation_vph": ablation_vph.run,
     "ablation_params": ablation_parameters.run,
+    "chaos": chaos_suite.run,
     "related_snoop": related_snoop.run,
     "constellation_study": constellation_study.run,
 }

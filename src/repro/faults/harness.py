@@ -1,0 +1,174 @@
+"""One-call chaos runs: topology + fault schedule + invariants + metrics.
+
+These are the entry points the chaos regression suite, the experiment
+matrix, and the examples share.  Each builds a fresh simulator, wires a
+chain, arms the fault schedule, runs to ``duration_s`` (under a wall-clock
+watchdog), and returns a :class:`ChaosResult` bundling the invariant
+reports, the recovery metrics, and the injector's action log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core import LeotpConfig, build_leotp_path
+from repro.faults.invariants import (
+    InvariantLimits,
+    InvariantMonitor,
+    InvariantReport,
+    InvariantViolation,
+)
+from repro.faults.metrics import RecoveryReport, recovery_report
+from repro.faults.schedule import FaultInjector, FaultSchedule
+from repro.netsim.topology import HopSpec, uniform_chain_specs
+from repro.simcore import RngRegistry, Simulator
+from repro.tcp import build_e2e_tcp_path
+
+
+@dataclass
+class ChaosResult:
+    """Everything a chaos scenario produced."""
+
+    protocol: str
+    invariants: list[InvariantReport]
+    recovery: RecoveryReport
+    fault_log: list[tuple[float, str]] = field(default_factory=list)
+    completed: Optional[bool] = None  # None for open-ended flows
+    completed_at_s: Optional[float] = None
+
+    @property
+    def invariants_ok(self) -> bool:
+        return all(r.ok for r in self.invariants)
+
+    def assert_ok(self) -> None:
+        failed = [r for r in self.invariants if not r.ok]
+        if failed:
+            raise InvariantViolation(
+                "; ".join(f"{r.name}: {r.detail}" for r in failed)
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "invariants": [
+                {"name": r.name, "ok": r.ok, "detail": r.detail}
+                for r in self.invariants
+            ],
+            "recovery": self.recovery.to_dict(),
+            "fault_log": [
+                {"t": t, "action": action} for t, action in self.fault_log
+            ],
+            "completed": self.completed,
+            "completed_at_s": self.completed_at_s,
+        }
+
+
+def _fault_window(schedule: FaultSchedule) -> tuple[float, float]:
+    if len(schedule) == 0:
+        return 0.0, 0.0
+    start = min(event.at_s for event in schedule)
+    return start, max(schedule.last_fault_end_s, start)
+
+
+def run_leotp_chaos(
+    schedule: FaultSchedule,
+    hops: Optional[Sequence[HopSpec]] = None,
+    n_hops: int = 6,
+    rate_bps: float = 20e6,
+    delay_s: float = 0.008,
+    plr: float = 0.0,
+    duration_s: float = 15.0,
+    total_bytes: Optional[int] = None,
+    seed: int = 0,
+    config: Optional[LeotpConfig] = None,
+    coverage: float = 1.0,
+    recovery_window_s: float = 5.0,
+    recovery_fraction: float = 0.8,
+    limits: InvariantLimits = InvariantLimits(),
+    wall_timeout_s: Optional[float] = 120.0,
+) -> ChaosResult:
+    """Run one LEOTP flow over a faulted chain, with invariants armed."""
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    if hops is None:
+        hops = uniform_chain_specs(n_hops, rate_bps=rate_bps, delay_s=delay_s, plr=plr)
+    path = build_leotp_path(
+        sim, rng, list(hops),
+        config=config or LeotpConfig(),
+        total_bytes=total_bytes,
+        coverage=coverage,
+    )
+    monitor = InvariantMonitor(sim, path, limits=limits)
+    injector = FaultInjector(sim, rng)
+    injector.register_path(path)
+    injector.arm(schedule)
+    sim.run(until=duration_s, wall_timeout_s=wall_timeout_s)
+
+    fault_start, fault_end = _fault_window(schedule)
+    completion = path.consumer.completed_at
+    post_window = recovery_window_s
+    if completion is not None and completion > fault_end:
+        # The flow finished inside the measurement window: only count
+        # time it was actually transferring.
+        post_window = min(recovery_window_s, completion - fault_end)
+    recovery = recovery_report(
+        path.recorder, fault_start, fault_end,
+        window_s=recovery_window_s,
+        post_window_s=post_window,
+        recovery_fraction=recovery_fraction,
+        wire_bytes_sent=path.producer.wire_bytes_sent,
+    )
+    return ChaosResult(
+        protocol="leotp",
+        invariants=monitor.finalise(),
+        recovery=recovery,
+        fault_log=list(injector.log),
+        completed=path.consumer.finished if total_bytes is not None else None,
+        completed_at_s=completion,
+    )
+
+
+def run_tcp_chaos(
+    schedule: FaultSchedule,
+    cc_name: str = "bbr",
+    hops: Optional[Sequence[HopSpec]] = None,
+    n_hops: int = 6,
+    rate_bps: float = 20e6,
+    delay_s: float = 0.008,
+    plr: float = 0.0,
+    duration_s: float = 15.0,
+    seed: int = 0,
+    recovery_window_s: float = 5.0,
+    recovery_fraction: float = 0.8,
+    wall_timeout_s: Optional[float] = 120.0,
+) -> ChaosResult:
+    """Run one end-to-end TCP flow over the same faulted chain.
+
+    The LEOTP invariant set does not apply (TCP's in-order delivery is
+    structural), so the result carries recovery metrics only — the
+    baseline the chaos suite compares LEOTP against.
+    """
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    if hops is None:
+        hops = uniform_chain_specs(n_hops, rate_bps=rate_bps, delay_s=delay_s, plr=plr)
+    path = build_e2e_tcp_path(sim, rng, list(hops), cc_name)
+    injector = FaultInjector(sim, rng)
+    injector.register_path(path)
+    injector.arm(schedule)
+    sim.run(until=duration_s, wall_timeout_s=wall_timeout_s)
+
+    fault_start, fault_end = _fault_window(schedule)
+    recovery = recovery_report(
+        path.recorder, fault_start, fault_end,
+        window_s=recovery_window_s,
+        recovery_fraction=recovery_fraction,
+        wire_bytes_sent=path.sender.wire_bytes_sent,
+    )
+    return ChaosResult(
+        protocol=f"tcp-{cc_name}",
+        invariants=[],
+        recovery=recovery,
+        fault_log=list(injector.log),
+    )

@@ -1,0 +1,87 @@
+"""Correlated packet-loss processes for fault injection.
+
+The substrate's built-in loss is Bernoulli: every packet is dropped
+independently with probability ``plr``.  Real LEO links fail differently —
+rain fade, antenna re-pointing, and interference produce *bursts* where
+many consecutive packets die, separated by long clean stretches.  The
+classic two-state Gilbert–Elliott chain models this: the link wanders
+between a GOOD and a BAD state, each with its own loss probability, and
+the state transition probabilities set the burst/gap length distribution
+(geometric, with means ``1/p_bad_good`` and ``1/p_good_bad`` packets).
+
+Instances plug into :attr:`repro.netsim.link.Link.loss_model` and advance
+their chain once per serialised packet, so runs remain deterministic for
+a given named RNG stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+GOOD = 0
+BAD = 1
+
+
+class GilbertElliottLoss:
+    """Two-state Markov loss process (callable: packet -> drop?).
+
+    Args:
+        rng: dedicated random stream (use a named ``RngRegistry`` stream).
+        p_good_bad: per-packet probability of entering the burst state.
+        p_bad_good: per-packet probability of leaving the burst state.
+        loss_good: loss probability while GOOD (usually 0 or tiny).
+        loss_bad: loss probability while BAD (usually large).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        p_good_bad: float = 0.001,
+        p_bad_good: float = 0.1,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.5,
+    ) -> None:
+        for name, p in (
+            ("p_good_bad", p_good_bad),
+            ("p_bad_good", p_bad_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self._rng = rng
+        self.p_good_bad = p_good_bad
+        self.p_bad_good = p_bad_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.state = GOOD
+        self.packets_seen = 0
+        self.packets_dropped = 0
+        self.bursts_entered = 0
+
+    def __call__(self, packet) -> bool:
+        """Advance the chain one packet; True means drop it."""
+        self.packets_seen += 1
+        if self.state == GOOD:
+            if self._rng.random() < self.p_good_bad:
+                self.state = BAD
+                self.bursts_entered += 1
+        else:
+            if self._rng.random() < self.p_bad_good:
+                self.state = GOOD
+        p = self.loss_bad if self.state == BAD else self.loss_good
+        lost = p > 0 and self._rng.random() < p
+        if lost:
+            self.packets_dropped += 1
+        return lost
+
+    @property
+    def loss_rate(self) -> float:
+        return self.packets_dropped / self.packets_seen if self.packets_seen else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "BAD" if self.state == BAD else "GOOD"
+        return (
+            f"<GilbertElliottLoss {state} seen={self.packets_seen} "
+            f"dropped={self.packets_dropped}>"
+        )

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
@@ -98,6 +98,10 @@ class Link:
         self.reply_link: Optional["Link"] = None  # set by DuplexLink
         self.stats = LinkStats()
         self.up = True  # set False to blackhole new packets (path switching)
+        # Optional correlated-loss hook layered on top of the Bernoulli
+        # draw: called once per serialised packet, returns True to drop it
+        # (see repro.faults.loss.GilbertElliottLoss).
+        self.loss_model: Optional[Callable[[Packet], bool]] = None
         self._rng = rng
         self._queue: deque[Packet] = deque()
         self._queued_bytes = 0
@@ -185,8 +189,27 @@ class Link:
         self.stats.busy_time_s += tx_time
         self.sim.schedule(tx_time, self._finish_transmission, packet)
 
+    def set_loss(self, plr: float, rng: Optional[np.random.Generator] = None) -> None:
+        """Retune the Bernoulli loss rate at runtime (fault injection).
+
+        An rng is attached on demand so links built lossless (and therefore
+        without a loss stream) can still have loss injected later.
+        """
+        if not 0 <= plr < 1:
+            raise ValueError(f"plr must be in [0, 1), got {plr}")
+        if rng is not None:
+            self._rng = rng
+        if plr > 0 and self._rng is None:
+            raise ValueError("a loss rng is required when plr > 0")
+        self.plr = plr
+
     def _finish_transmission(self, packet: Packet) -> None:
-        lost = self.plr > 0 and self._rng is not None and self._rng.random() < self.plr
+        # The loss model is consulted for every packet (not only Bernoulli
+        # survivors) so correlated processes observe every transmission.
+        model_lost = self.loss_model is not None and self.loss_model(packet)
+        lost = model_lost or (
+            self.plr > 0 and self._rng is not None and self._rng.random() < self.plr
+        )
         if lost:
             self.stats.packets_dropped_loss += 1
         else:

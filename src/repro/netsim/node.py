@@ -21,17 +21,36 @@ class Node:
         self.name = name
         self._handler: Optional[Callable[[Packet, Link], None]] = None
         self.packets_received = 0
+        # Crash emulation (fault injection): a crashed node drops every
+        # arriving packet, as a powered-off satellite would.
+        self.crashed = False
+        self.packets_dropped_crashed = 0
 
     def set_handler(self, handler: Callable[[Packet, Link], None]) -> None:
         self._handler = handler
 
     def receive(self, packet: Packet, link: Link) -> None:
         """Entry point invoked by links on delivery."""
+        if self.crashed:
+            self.packets_dropped_crashed += 1
+            return
         self.packets_received += 1
         if self._handler is not None:
             self._handler(packet, link)
         else:
             self.on_receive(packet, link)
+
+    def crash(self) -> None:
+        """Take the node down: every packet is dropped until :meth:`restart`.
+
+        Subclasses holding volatile state (caches, flow tables, send
+        buffers) override this to wipe it, modelling a real power-cycle.
+        """
+        self.crashed = True
+
+    def restart(self) -> None:
+        """Bring a crashed node back up (with whatever state survives)."""
+        self.crashed = False
 
     def on_receive(self, packet: Packet, link: Link) -> None:
         """Default packet handler; override in subclasses."""

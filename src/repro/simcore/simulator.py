@@ -107,6 +107,7 @@ class Simulator:
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
+        wall_timeout_s: Optional[float] = None,
     ) -> float:
         """Run events until the heap drains, ``until`` is reached, or
         ``max_events`` have executed.
@@ -114,11 +115,24 @@ class Simulator:
         When ``until`` is given, the clock is advanced to exactly ``until``
         even if the last event fires earlier, so back-to-back ``run`` calls
         observe a monotonic clock.  Returns the current simulated time.
+
+        ``wall_timeout_s`` is a watchdog against runaway event storms
+        (e.g. a fault scenario that triggers a retransmission feedback
+        loop): if the run consumes more than that much *wall-clock* time,
+        a :class:`SimulationError` reporting the simulated time and event
+        count is raised instead of hanging the harness.  It does not
+        affect the simulated schedule, only aborts it.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         executed = 0
+        deadline = None
+        if wall_timeout_s is not None:
+            import time
+
+            deadline = time.monotonic() + wall_timeout_s
+            check_mask = 0xFFF  # poll the wall clock every 4096 events
         try:
             while self._heap:
                 entry = self._heap[0]
@@ -130,6 +144,15 @@ class Simulator:
                     break
                 if max_events is not None and executed >= max_events:
                     break
+                if (
+                    deadline is not None
+                    and executed & check_mask == check_mask
+                    and time.monotonic() > deadline
+                ):
+                    raise SimulationError(
+                        f"wall-clock watchdog expired after {wall_timeout_s}s "
+                        f"(simulated t={self._now:.3f}, {executed} events this run)"
+                    )
                 heapq.heappop(self._heap)
                 self._now = entry[0]
                 event.callback(*event.args)

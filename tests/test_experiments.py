@@ -100,9 +100,20 @@ class TestRegistry:
             "fig01", "fig02", "fig03", "fig04", "fig05", "fig10", "fig11",
             "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
             "fig19", "table2", "ablation_vph", "ablation_params",
-            "related_snoop", "constellation_study",
+            "related_snoop", "constellation_study", "chaos",
         }
         assert set(ALL_EXPERIMENTS) == expected
+
+    def test_chaos_smoke(self):
+        # Shape only: the acceptance-level assertions (invariants green,
+        # >= 80 % goodput recovery) live in test_chaos_recovery.py at
+        # full duration; a 3 s run cannot finish a transfer.
+        res = ALL_EXPERIMENTS["chaos"](scale=0.2)
+        assert len(res.rows) == 8
+        assert {row["protocol"] for row in res.rows} == {"leotp", "tcp-bbr"}
+        assert {row["scenario"] for row in res.rows} == {
+            "blackout", "flap", "crash", "loss_burst",
+        }
 
     def test_fig01_smoke(self):
         res = ALL_EXPERIMENTS["fig01"](scale=0.05)

@@ -1,0 +1,399 @@
+"""Unit tests for the fault-injection subsystem (repro.faults)."""
+
+import pytest
+
+from repro.common.ranges import ByteRange
+from repro.core import LeotpConfig, build_leotp_path
+from repro.core.paced import ResendSuppressor
+from repro.core.shr import SeqHoleDetector
+from repro.faults import (
+    BandwidthCollapse,
+    CorrelatedLoss,
+    DelaySpike,
+    FaultInjector,
+    FaultSchedule,
+    GilbertElliottLoss,
+    InvariantLimits,
+    InvariantMonitor,
+    LinkDown,
+    LinkFlap,
+    LossBurst,
+    NodeCrash,
+    recovery_report,
+)
+from repro.netsim.link import DuplexLink, Link
+from repro.netsim.node import SinkNode
+from repro.netsim.packet import Packet
+from repro.netsim.topology import uniform_chain_specs
+from repro.netsim.trace import FlowRecorder
+from repro.simcore import RngRegistry, Simulator
+
+
+def make_link(sim, sink, **kwargs):
+    defaults = dict(rate_bps=8e6, delay_s=0.001)
+    defaults.update(kwargs)
+    return Link(sim, sink, **defaults)
+
+
+class TestFaultSchedule:
+    def test_events_iterate_in_time_order(self):
+        s = FaultSchedule()
+        s.add(LinkDown(at_s=5.0, link="b"))
+        s.add(LinkDown(at_s=1.0, link="a"))
+        assert [e.at_s for e in s] == [1.0, 5.0]
+
+    def test_validation_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            LinkDown(at_s=-1.0, link="x")
+        with pytest.raises(ValueError):
+            LinkDown(at_s=0.0, link="")
+        with pytest.raises(ValueError):
+            LinkDown(at_s=0.0, link="x", duration_s=0.0)
+        with pytest.raises(ValueError):
+            DelaySpike(at_s=0.0, link="x", factor=1.0)  # adds no delay
+        with pytest.raises(ValueError):
+            BandwidthCollapse(at_s=0.0, link="x", factor=0.0)
+        with pytest.raises(ValueError):
+            LossBurst(at_s=0.0, link="x", plr=1.0)
+        with pytest.raises(ValueError):
+            NodeCrash(at_s=0.0, node="n", restart_after_s=0.0)
+        with pytest.raises(TypeError):
+            FaultSchedule().add("not an event")
+
+    def test_flap_expands_to_periodic_downs(self):
+        flap = LinkFlap(at_s=2.0, link="x", down_s=0.2, up_s=0.3, cycles=3)
+        downs = flap.expand()
+        assert [d.at_s for d in downs] == [2.0, 2.5, 3.0]
+        assert all(d.duration_s == 0.2 for d in downs)
+
+    def test_last_fault_end(self):
+        s = FaultSchedule()
+        s.add(LinkDown(at_s=1.0, link="x", duration_s=2.0))
+        s.add(LinkFlap(at_s=2.0, link="x", down_s=0.5, up_s=0.5, cycles=4))
+        s.add(NodeCrash(at_s=3.0, node="n", restart_after_s=1.5))
+        assert s.last_fault_end_s == pytest.approx(6.0)  # flap ends last
+
+
+class TestGilbertElliott:
+    def test_deterministic_per_stream(self):
+        def drops(seed):
+            model = GilbertElliottLoss(
+                RngRegistry(seed).stream("ge"),
+                p_good_bad=0.1, p_bad_good=0.3, loss_bad=0.7,
+            )
+            return [model(Packet(100)) for _ in range(500)]
+
+        assert drops(7) == drops(7)
+        assert drops(7) != drops(8)
+
+    def test_loss_is_bursty(self):
+        model = GilbertElliottLoss(
+            RngRegistry(1).stream("ge"),
+            p_good_bad=0.02, p_bad_good=0.2, loss_good=0.0, loss_bad=1.0,
+        )
+        outcomes = [model(Packet(100)) for _ in range(20000)]
+        assert model.bursts_entered > 0
+        # Mean burst length 1/p_bad_good = 5 >> what Bernoulli at the same
+        # average rate would produce; check losses clump into runs.
+        runs = []
+        current = 0
+        for lost in outcomes:
+            if lost:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert runs and sum(runs) / len(runs) > 2.0
+        assert 0.0 < model.loss_rate < 0.5
+
+    def test_attached_to_link_drops_packets(self):
+        sim = Simulator()
+        sink = SinkNode(sim)
+        link = make_link(sim, sink, queue_bytes=None)
+        link.loss_model = GilbertElliottLoss(
+            RngRegistry(2).stream("ge"), p_good_bad=0.5, p_bad_good=0.1,
+            loss_bad=1.0,
+        )
+        for _ in range(500):
+            link.send(Packet(100))
+        sim.run()
+        assert link.stats.packets_dropped_loss > 0
+        assert len(sink.received) == 500 - link.stats.packets_dropped_loss
+
+
+class TestFaultInjector:
+    def _one_link(self):
+        sim = Simulator()
+        sink = SinkNode(sim)
+        link = make_link(sim, sink, queue_bytes=None)
+        injector = FaultInjector(sim, RngRegistry(0))
+        injector.register_link("l", link)
+        return sim, sink, link, injector
+
+    def test_link_down_and_restore(self):
+        sim, sink, link, injector = self._one_link()
+        schedule = FaultSchedule([LinkDown(at_s=0.01, link="l", duration_s=0.02)])
+        injector.arm(schedule)
+        # One packet before, one during, one after the outage.
+        for t in (0.0, 0.02, 0.05):
+            sim.schedule_at(t, lambda: link.send(Packet(100)))
+        sim.run()
+        assert len(sink.received) == 2
+        assert not link.up if sim.now < 0.03 else link.up
+        assert [m for _, m in injector.log] == [
+            "l DOWN for 0.02s (0 flushed)", "l UP",
+        ]
+
+    def test_down_flushes_queue(self):
+        sim, sink, link, injector = self._one_link()
+        for _ in range(5):
+            link.send(Packet(10000))  # 10 ms serialisation each
+        injector.register_link("l", link)
+        injector.arm(FaultSchedule([LinkDown(at_s=0.005, link="l", duration_s=1.0)]))
+        sim.run()
+        # The packet mid-serialisation completes; the queued four are flushed.
+        assert len(sink.received) == 1
+        assert link.stats.packets_dropped_flush == 4
+
+    def test_delay_spike_applies_and_restores_delta(self):
+        sim, sink, link, injector = self._one_link()
+        injector.arm(FaultSchedule(
+            [DelaySpike(at_s=0.01, link="l", duration_s=0.02, extra_s=0.1)]
+        ))
+        sim.run(until=0.015)
+        assert link.delay_s == pytest.approx(0.101)
+        # Concurrent retune survives the restore (delta-based).
+        link.delay_s += 0.005
+        sim.run(until=0.05)
+        assert link.delay_s == pytest.approx(0.006)
+
+    def test_bandwidth_collapse_scales_and_restores(self):
+        sim, sink, link, injector = self._one_link()
+        base = link.profile
+        injector.arm(FaultSchedule(
+            [BandwidthCollapse(at_s=0.01, link="l", duration_s=0.02, factor=0.1)]
+        ))
+        sim.run(until=0.015)
+        assert link.profile.rate_at(sim.now) == pytest.approx(8e5)
+        sim.run(until=0.05)
+        assert link.profile is base
+
+    def test_loss_burst_sets_and_restores_plr(self):
+        sim, sink, link, injector = self._one_link()
+        injector.arm(FaultSchedule(
+            [LossBurst(at_s=0.01, link="l", duration_s=0.02, plr=0.5)]
+        ))
+        sim.run(until=0.015)
+        assert link.plr == 0.5
+        sim.run(until=0.05)
+        assert link.plr == 0.0
+
+    def test_correlated_loss_attaches_and_detaches(self):
+        sim, sink, link, injector = self._one_link()
+        injector.arm(FaultSchedule(
+            [CorrelatedLoss(at_s=0.01, link="l", duration_s=0.02)]
+        ))
+        sim.run(until=0.015)
+        assert isinstance(link.loss_model, GilbertElliottLoss)
+        sim.run(until=0.05)
+        assert link.loss_model is None
+
+    def test_duplex_registration_targets_both_directions(self):
+        sim = Simulator()
+        a, b = SinkNode(sim, "a"), SinkNode(sim, "b")
+        duplex = DuplexLink(sim, a, b, rate_bps=8e6, delay_s=0.001)
+        injector = FaultInjector(sim)
+        injector.register_link("d", duplex)
+        injector.arm(FaultSchedule([LinkDown(at_s=0.0, link="d", duration_s=0.01)]))
+        sim.run(until=0.005)
+        assert not duplex.ab.up and not duplex.ba.up
+        # After the duplex outage ends, a directional one hits only :ab.
+        injector.arm(FaultSchedule([LinkDown(at_s=0.02, link="d:ab", duration_s=10.0)]))
+        sim.run(until=0.15)
+        assert not duplex.ab.up and duplex.ba.up
+
+    def test_unknown_targets_fail_at_arm_time(self):
+        sim, sink, link, injector = self._one_link()
+        with pytest.raises(KeyError):
+            injector.arm(FaultSchedule([LinkDown(at_s=0.0, link="nope")]))
+        with pytest.raises(KeyError):
+            injector.arm(FaultSchedule([NodeCrash(at_s=0.0, node="nope")]))
+
+    def test_node_crash_drops_traffic_until_restart(self):
+        sim = Simulator()
+        sink = SinkNode(sim)
+        link = make_link(sim, sink, queue_bytes=None)
+        injector = FaultInjector(sim)
+        injector.register_node("s", sink)
+        injector.arm(FaultSchedule(
+            [NodeCrash(at_s=0.01, node="s", restart_after_s=0.02)]
+        ))
+        for t in (0.0, 0.02, 0.05):
+            sim.schedule_at(t, lambda: link.send(Packet(100)))
+        sim.run()
+        assert len(sink.received) == 2
+        assert sink.packets_dropped_crashed == 1
+
+
+class TestMidnodeCrash:
+    def _path(self, total_bytes=2_000_000):
+        sim = Simulator()
+        rng = RngRegistry(0)
+        hops = uniform_chain_specs(4, rate_bps=20e6, delay_s=0.005, plr=0.0)
+        path = build_leotp_path(
+            sim, rng, hops, config=LeotpConfig(), total_bytes=total_bytes
+        )
+        return sim, path
+
+    def test_crash_wipes_cache_and_flow_state(self):
+        sim, path = self._path()
+        mid = path.midnodes[1]
+        sim.run(until=1.0)
+        assert mid._flows and mid.cache.stored_bytes > 0
+        mid.crash()
+        assert mid.crashed
+        assert not mid._flows
+        assert mid.cache.stored_bytes == 0
+        assert mid.stats.crashes == 1
+
+    def test_transfer_survives_crash_restart(self):
+        sim, path = self._path()
+        mid = path.midnodes[1]
+        sim.schedule_at(0.4, mid.crash)
+        sim.schedule_at(0.6, mid.restart)
+        sim.run(until=20.0)
+        assert path.consumer.finished
+        assert path.consumer.bytes_received == 2_000_000
+
+
+class TestResendSuppressor:
+    def test_suppresses_within_floor_window(self):
+        sim = Simulator()
+        sup = ResendSuppressor(sim, floor_s=0.15)
+        rng = ByteRange(0, 1400)
+        assert not sup.suppressed(rng)  # never sent
+        sup.record(rng)
+        assert sup.suppressed(rng)
+        sim.run(until=0.2)
+        assert not sup.suppressed(rng)  # window expired
+
+    def test_drain_time_extends_window(self):
+        sim = Simulator()
+        sup = ResendSuppressor(sim, floor_s=0.15)
+        rng = ByteRange(0, 1400)
+        sup.record(rng)
+        sim.run(until=0.2)
+        assert sup.suppressed(rng, extra_window_s=1.0)
+
+    def test_zero_floor_disables(self):
+        sim = Simulator()
+        sup = ResendSuppressor(sim, floor_s=0.0)
+        rng = ByteRange(0, 1400)
+        sup.record(rng)
+        assert not sup.suppressed(rng)
+
+
+class TestShrResync:
+    def test_fresh_detector_adopts_first_offset(self):
+        """A detector (re)created mid-flow must not treat the entire
+        already-delivered prefix as one giant hole (crash/restart)."""
+        shr = SeqHoleDetector()
+        actions = shr.on_packet(ByteRange(10_000_000, 10_001_400))
+        assert actions.announce == [] and actions.request == []
+        assert shr.last_byte == 10_001_400
+
+    def test_gaps_after_priming_are_still_detected(self):
+        shr = SeqHoleDetector(disorder_threshold=1)
+        shr.on_packet(ByteRange(1000, 2000))
+        actions = shr.on_packet(ByteRange(3000, 4000))
+        assert actions.announce == [ByteRange(2000, 3000)]
+
+
+class TestInvariantMonitor:
+    def test_clean_run_is_green(self):
+        sim = Simulator()
+        rng = RngRegistry(0)
+        hops = uniform_chain_specs(4, rate_bps=20e6, delay_s=0.005, plr=0.01)
+        path = build_leotp_path(
+            sim, rng, hops, config=LeotpConfig(), total_bytes=1_000_000
+        )
+        monitor = InvariantMonitor(sim, path)
+        sim.run(until=10.0)
+        reports = monitor.finalise()
+        assert [r.name for r in reports] == [
+            "byte-exact-delivery", "no-duplicate-delivery",
+            "bounded-requester-window", "bounded-responder-buffers",
+            "rto-sanity", "cwnd-sanity",
+        ]
+        assert all(r.ok for r in reports), [str(r) for r in reports]
+        assert monitor.app_bytes_delivered == 1_000_000
+
+    def test_violations_are_caught(self):
+        sim = Simulator()
+        rng = RngRegistry(0)
+        hops = uniform_chain_specs(4, rate_bps=20e6, delay_s=0.005, plr=0.0)
+        path = build_leotp_path(
+            sim, rng, hops, config=LeotpConfig(), total_bytes=1_000_000
+        )
+        # Absurdly tight limits: a healthy run must trip them.
+        monitor = InvariantMonitor(
+            sim, path,
+            limits=InvariantLimits(
+                requester_window_limit_bytes=1,
+                responder_backlog_limit_bytes=1,
+            ),
+        )
+        sim.run(until=5.0)
+        reports = {r.name: r for r in monitor.finalise()}
+        assert not reports["bounded-requester-window"].ok
+        assert not reports["bounded-responder-buffers"].ok
+        assert not monitor.ok
+        with pytest.raises(AssertionError):
+            monitor.assert_ok()
+
+
+class TestRecoveryReport:
+    def _recorder(self, sim, deliveries):
+        recorder = FlowRecorder(sim)
+        for t, nbytes in deliveries:
+            sim.schedule_at(t, recorder.on_delivery, nbytes, 0.01)
+        sim.run()
+        return recorder
+
+    def test_goodput_ratio_and_ttfb(self):
+        sim = Simulator()
+        # 1000 B every 0.1 s, a 2 s gap for the fault, then recovery at
+        # the same rate starting 0.5 s after the fault clears.
+        pre = [(0.1 * i, 1000) for i in range(50)]          # up to t=4.9
+        post = [(7.5 + 0.1 * i, 1000) for i in range(50)]   # from t=7.5
+        recorder = self._recorder(sim, pre + post)
+        report = recovery_report(
+            recorder, 5.0, 7.0, window_s=5.0, recovery_window_s=1.0
+        )
+        assert report.pre_goodput_bps == pytest.approx(80_000, rel=0.05)
+        assert report.ttfb_after_fault_s == pytest.approx(0.5)
+        assert report.goodput_ratio == pytest.approx(0.9, abs=0.2)
+        assert report.recovered
+        assert report.time_to_recovery_s > 0.5
+
+    def test_no_recovery_reported_when_flow_dies(self):
+        sim = Simulator()
+        recorder = self._recorder(sim, [(0.1 * i, 1000) for i in range(50)])
+        report = recovery_report(recorder, 5.0, 7.0)
+        assert report.post_goodput_bps == 0.0
+        assert report.ttfb_after_fault_s is None
+        assert not report.recovered
+
+    def test_amplification(self):
+        sim = Simulator()
+        recorder = self._recorder(sim, [(0.0, 1000), (1.0, 1000)])
+        report = recovery_report(recorder, 0.5, 0.6, wire_bytes_sent=3000)
+        assert report.retx_amplification == pytest.approx(1.5)
+
+    def test_validation(self):
+        sim = Simulator()
+        recorder = FlowRecorder(sim)
+        with pytest.raises(ValueError):
+            recovery_report(recorder, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            recovery_report(recorder, 1.0, 2.0, window_s=0.0)

@@ -312,3 +312,79 @@ class TestConsumerDeliveryCallback:
         assert sum(chunks) == 4200
         # First callback fires only once the head-of-line hole is filled.
         assert chunks[0] == 2800
+
+
+class TestKarnsRuleAndBackoff:
+    """TR timer hygiene at the Consumer: Karn's rule and backoff clamping."""
+
+    def _consumer_with_blackhole(self, total_bytes=2800, config=None):
+        sim = Simulator()
+        config = config or LeotpConfig()
+        consumer = Consumer(sim, "cons", "flow", config, total_bytes=total_bytes)
+        sink = SinkNode(sim, "sink")  # absorbs Interests, never answers
+        link = DuplexLink(sim, sink, consumer, rate_bps=50e6, delay_s=0.001)
+        consumer.out_link = link.ba
+        return sim, consumer, link
+
+    def test_clean_interest_feeds_rtt_estimator(self):
+        sim, consumer, link = self._consumer_with_blackhole()
+        sim.run(until=0.05)
+        assert consumer.rto.samples == 0
+        link.ab.send(DataPacket("flow", ByteRange(0, 1400), sim.now))
+        sim.run(until=0.1)
+        assert consumer.rto.samples == 1
+        assert consumer.rto.srtt_s is not None
+
+    def test_karns_rule_skips_retried_interests(self):
+        sim, consumer, link = self._consumer_with_blackhole()
+        sim.run(until=0.05)
+        # Mark the second Interest ambiguous, as if TR had re-sent it.
+        consumer._outstanding[1400].retries = 1
+        link.ab.send(DataPacket("flow", ByteRange(1400, 2800), sim.now))
+        sim.run(until=0.1)
+        assert consumer.rto.samples == 0  # retried: no sample taken
+        assert 1400 not in consumer._outstanding  # but still satisfied
+
+    def test_karn_rtt_measured_from_last_send(self):
+        """The one sample a clean Interest yields spans last_sent -> now,
+        not first_sent -> now (which would fold queueing history in)."""
+        sim, consumer, link = self._consumer_with_blackhole()
+        sim.run(until=0.05)
+        state = consumer._outstanding[0]
+        assert state.last_sent == state.first_sent  # never retried
+        link.ab.send(DataPacket("flow", ByteRange(0, 1400), sim.now))
+        sim.run(until=0.1)
+        measured = consumer.rto.srtt_s
+        assert measured == pytest.approx(sim.now - state.first_sent, abs=0.05)
+
+    def test_backoff_deadline_clamped_at_max_rto(self):
+        sim, consumer, link = self._consumer_with_blackhole()
+        sim.run(until=0.05)
+        state = consumer._outstanding[0]
+        # Deep into an outage the uncapped product 0.5 * 1.5**30 would be
+        # ~96 000 s; the deadline must stay within max_rto of now.
+        state.retries = 30
+        consumer._send_interest(state.rng, retransmission=True)
+        assert state.retries == 31
+        timeout = state.deadline - sim.now
+        assert timeout == pytest.approx(consumer.rto.max_rto_s)
+
+    def test_backoff_grows_until_clamped(self):
+        sim, consumer, link = self._consumer_with_blackhole()
+        sim.run(until=0.05)
+        state = consumer._outstanding[0]
+        timeouts = []
+        for _ in range(40):
+            consumer._send_interest(state.rng, retransmission=True)
+            timeouts.append(state.deadline - sim.now)
+        # Monotone non-decreasing, strictly growing early, capped late.
+        assert all(b >= a - 1e-12 for a, b in zip(timeouts, timeouts[1:]))
+        assert timeouts[1] > timeouts[0]
+        assert timeouts[-1] == pytest.approx(consumer.rto.max_rto_s)
+
+    def test_max_retries_bounds_retries_under_long_outage(self):
+        sim, consumer, link = self._consumer_with_blackhole(
+            config=LeotpConfig(tr_max_retries=5, tr_initial_rto_s=0.05)
+        )
+        sim.run(until=30.0)
+        assert consumer.max_interest_retries <= 5

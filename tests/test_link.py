@@ -218,6 +218,48 @@ class TestDuplexLink:
         assert duplex.ba.delay_s == 0.123
 
 
+class TestDelayShrinkReorder:
+    """Regression: a shrinking delay_s reorders packets already in flight.
+
+    This is the LEO handover phenomenon — after a path switch the new
+    satellite is closer, so packets launched later arrive earlier.  The
+    link deliberately models each packet's propagation independently; the
+    protocol layers (SHR disorder thresholds, duplicate absorption) are
+    what must tolerate the resulting reordering.
+    """
+
+    def test_shrinking_delay_reorders_in_flight(self):
+        sim = Simulator()
+        sink = SinkNode(sim)
+        link = make_link(sim, sink, delay_s=0.05)
+        first, second = Packet(1000), Packet(1000)
+        link.send(first)  # serialises in 1 ms, arrives at 0.051
+
+        def shrink_and_send():
+            link.delay_s = 0.001
+            link.send(second)  # arrives at ~0.004, overtaking `first`
+
+        sim.schedule_at(0.002, shrink_and_send)
+        sim.run()
+        assert [p.uid for p in sink.received] == [second.uid, first.uid]
+        assert sink.receive_times == sorted(sink.receive_times)
+
+    def test_growing_delay_preserves_order(self):
+        sim = Simulator()
+        sink = SinkNode(sim)
+        link = make_link(sim, sink, delay_s=0.001)
+        first, second = Packet(1000), Packet(1000)
+        link.send(first)
+
+        def grow_and_send():
+            link.delay_s = 0.05
+            link.send(second)
+
+        sim.schedule_at(0.002, grow_and_send)
+        sim.run()
+        assert [p.uid for p in sink.received] == [first.uid, second.uid]
+
+
 class TestNodeHandler:
     def test_set_handler_overrides_dispatch(self):
         from repro.netsim.node import Node

@@ -67,6 +67,30 @@ class TestRtoEstimator:
         with pytest.raises(ValueError):
             RtoEstimator(min_rto_s=2.0, max_rto_s=1.0)
 
+    def test_repeated_backoff_converges_to_max(self):
+        est = RtoEstimator(initial_rto_s=1.0, max_rto_s=8.0)
+        for _ in range(20):
+            est.backoff(1.5)
+        assert est.rto_s == 8.0
+
+    def test_backoff_leaves_estimators_untouched(self):
+        est = RtoEstimator()
+        est.on_sample(0.1)
+        srtt, rttvar = est.srtt_s, est.rttvar_s
+        est.backoff(2.0)
+        assert est.srtt_s == srtt and est.rttvar_s == rttvar
+
+    def test_fresh_sample_collapses_backoff(self):
+        # A clean post-outage sample recomputes the RTO from SRTT/RTTVAR,
+        # discarding the backed-off value (RFC 6298 Sec. 5.7 behaviour).
+        est = RtoEstimator(min_rto_s=0.2, max_rto_s=60.0)
+        est.on_sample(0.1)
+        est.backoff(2.0)
+        est.backoff(2.0)
+        backed_off = est.rto_s
+        est.on_sample(0.1)
+        assert est.rto_s < backed_off
+
     def test_sample_counter(self):
         est = RtoEstimator()
         est.on_sample(0.1)
