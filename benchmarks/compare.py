@@ -1,0 +1,113 @@
+"""Diff two pytest-benchmark JSON files and gate on regressions.
+
+Usage::
+
+    python benchmarks/compare.py BASELINE.json NEW.json [--threshold 0.15]
+
+Benchmarks are matched by name.  For each pair the mean runtimes are
+compared; the exit status is 1 if any benchmark present in both files
+slowed down by more than ``--threshold`` (default 15 %).  Speedups and
+new/removed benchmarks are reported but never fail the gate.
+
+This is the regression fence for the perf trajectory recorded in
+``BENCH_kernel.json`` (see benchmarks/test_bench_kernel.py) and the CI
+benchmark smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path: str) -> dict[str, dict]:
+    """Map benchmark name -> stats dict from a pytest-benchmark JSON."""
+    with open(path) as fh:
+        data = json.load(fh)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        out[bench["name"]] = bench
+    return out
+
+
+def _fmt_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def compare(
+    baseline: dict[str, dict],
+    new: dict[str, dict],
+    threshold: float,
+) -> tuple[str, list[str]]:
+    """Render a comparison table; return (table, regression messages)."""
+    names = sorted(set(baseline) | set(new))
+    width = max((len(n) for n in names), default=4)
+    lines = [
+        f"{'benchmark'.ljust(width)}  {'baseline':>10}  {'new':>10}  "
+        f"{'speedup':>8}  verdict"
+    ]
+    regressions: list[str] = []
+    for name in names:
+        old_bench, new_bench = baseline.get(name), new.get(name)
+        if old_bench is None:
+            lines.append(f"{name.ljust(width)}  {'-':>10}  "
+                         f"{_fmt_time(new_bench['stats']['mean']):>10}  "
+                         f"{'-':>8}  NEW")
+            continue
+        if new_bench is None:
+            lines.append(f"{name.ljust(width)}  "
+                         f"{_fmt_time(old_bench['stats']['mean']):>10}  "
+                         f"{'-':>10}  {'-':>8}  REMOVED")
+            continue
+        old_mean = old_bench["stats"]["mean"]
+        new_mean = new_bench["stats"]["mean"]
+        speedup = old_mean / new_mean if new_mean > 0 else float("inf")
+        if new_mean > old_mean * (1.0 + threshold):
+            verdict = f"REGRESSION (>{threshold:.0%} slower)"
+            regressions.append(
+                f"{name}: {_fmt_time(old_mean)} -> {_fmt_time(new_mean)} "
+                f"({speedup:.2f}x)"
+            )
+        elif speedup >= 1.0 + threshold:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"{name.ljust(width)}  {_fmt_time(old_mean):>10}  "
+            f"{_fmt_time(new_mean):>10}  {speedup:>7.2f}x  {verdict}"
+        )
+    return "\n".join(lines), regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline pytest-benchmark JSON")
+    parser.add_argument("new", help="candidate pytest-benchmark JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="allowed slowdown fraction before failing (default 0.15)",
+    )
+    args = parser.parse_args(argv)
+
+    table, regressions = compare(
+        load_benchmarks(args.baseline), load_benchmarks(args.new),
+        args.threshold,
+    )
+    print(table)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for msg in regressions:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -124,11 +124,11 @@ class PathDynamicsDriver:
         self.handover_count = 0
         self._last_nodes: Optional[tuple[str, ...]] = None
         self._apply()  # set initial delays
-        sim.schedule(update_interval_s, self._tick)
+        sim.schedule_call(update_interval_s, self._tick)
 
     def _tick(self) -> None:
         self._apply()
-        self.sim.schedule(self.update_interval_s, self._tick)
+        self.sim.schedule_call(self.update_interval_s, self._tick)
 
     def _apply(self) -> None:
         snap = self.schedule.at(self.sim.now)

@@ -75,7 +75,7 @@ class BlockCache:
             else:
                 self._blocks.move_to_end(key)
             bstart = bidx * self.block_bytes
-            part = rng.intersection(ByteRange(bstart, bstart + self.block_bytes))
+            part = rng.intersection(ByteRange.unchecked(bstart, bstart + self.block_bytes))
             if part is None:
                 continue
             before = block.stored_bytes()
@@ -133,7 +133,7 @@ class BlockCache:
             if block is None:
                 return False
             bstart = bidx * self.block_bytes
-            part = rng.intersection(ByteRange(bstart, bstart + self.block_bytes))
+            part = rng.intersection(ByteRange.unchecked(bstart, bstart + self.block_bytes))
             if part is not None and not block.coverage.contains(part):
                 return False
         return True

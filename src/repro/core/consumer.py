@@ -93,7 +93,7 @@ class Consumer(Node):
         self.max_outstanding_bytes = 0     # in-flight high-water mark
         self.max_interest_retries = 0      # worst per-Interest retry count
         self._started = False
-        sim.schedule(start_time, self.start)
+        sim.schedule_call(start_time, self.start)
 
     # ------------------------------------------------------------------
 
@@ -180,7 +180,7 @@ class Consumer(Node):
             return
         self._fill_window()
         rate = self._request_rate_bytes_s()
-        self.sim.schedule(self.config.mss / rate, self._emit_tick)
+        self.sim.schedule_call(self.config.mss / rate, self._emit_tick)
 
     def _fill_window(self) -> None:
         """Emit new Interests up to the in-flight window.
@@ -196,7 +196,7 @@ class Consumer(Node):
             end = self._next_offset + self.config.mss
             if self.total_bytes is not None:
                 end = min(end, self.total_bytes)
-            rng = ByteRange(self._next_offset, end)
+            rng = ByteRange.unchecked(self._next_offset, end)
             self._next_offset = end
             self._send_interest(rng, retransmission=False)
 
@@ -249,7 +249,7 @@ class Consumer(Node):
                     continue  # give up silently; reliability bound reached
                 self.tr_expirations += 1
                 self._send_interest(state.rng, retransmission=True)
-        self.sim.schedule(self.config.tr_check_interval_s, self._tr_tick)
+        self.sim.schedule_call(self.config.tr_check_interval_s, self._tr_tick)
 
     # ------------------------------------------------------------------
     # Reception

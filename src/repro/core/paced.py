@@ -88,7 +88,11 @@ class PacedSender:
         self._queue: deque[DataPacket] = deque()
         self._buffered_bytes = 0
         self._link = None
-        self._drain_event = None
+        # Drain ticks are fire-and-forget kernel events (no Event handle
+        # allocated per packet); a generation counter invalidates pending
+        # ticks on reset() instead of cancelling them.
+        self._drain_scheduled = False
+        self._drain_gen = 0
         self.packets_sent = 0
         self.bytes_sent = 0
         self.packets_dropped = 0
@@ -141,9 +145,8 @@ class PacedSender:
         self.packets_dropped += dropped
         self._queue.clear()
         self._buffered_bytes = 0
-        if self._drain_event is not None:
-            self._drain_event.cancel()
-            self._drain_event = None
+        self._drain_gen += 1  # any in-flight drain tick becomes stale
+        self._drain_scheduled = False
         return dropped
 
     # ------------------------------------------------------------------
@@ -163,10 +166,15 @@ class PacedSender:
             self._link.send(out)
 
     def _schedule_drain(self, delay: float) -> None:
-        if self._drain_event is not None and not self._drain_event.cancelled:
+        if self._drain_scheduled:
             return
-        self._drain_event = self.sim.schedule(max(delay, 1e-6), self._drain_tick)
+        self._drain_scheduled = True
+        self.sim.schedule_call(
+            max(delay, 1e-6), self._drain_tick, self._drain_gen
+        )
 
-    def _drain_tick(self) -> None:
-        self._drain_event = None
+    def _drain_tick(self, gen: int) -> None:
+        if gen != self._drain_gen:
+            return  # stale tick from before a reset()
+        self._drain_scheduled = False
         self._drain()

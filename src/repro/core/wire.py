@@ -19,7 +19,11 @@ from typing import Optional
 
 from repro.common.ranges import ByteRange
 from repro.core.config import LEOTP_HEADER_BYTES, UDP_IP_OVERHEAD_BYTES
-from repro.netsim.packet import Packet
+from repro.netsim.packet import Packet, next_packet_uid
+
+# Every Interest (and every VPH) is exactly one header on the wire; Data
+# adds its payload.  Precomputed once — these constructors run per packet.
+_WIRE_HEADER_BYTES = LEOTP_HEADER_BYTES + UDP_IP_OVERHEAD_BYTES
 
 
 class LeotpPacket(Packet):
@@ -60,11 +64,17 @@ class Interest(LeotpPacket):
         send_rate_bytes_s: float,
         is_retransmission: bool = False,
     ) -> None:
-        super().__init__(
-            flow_id, rng,
-            size_bytes=LEOTP_HEADER_BYTES + UDP_IP_OVERHEAD_BYTES,
-            timestamp=timestamp,
-        )
+        # Flattened constructor (no super() chain): one of the two
+        # per-packet allocation sites on the wire hot path.
+        self.size_bytes = _WIRE_HEADER_BYTES
+        self.src = None
+        self.dst = None
+        self.created_at = timestamp
+        self.uid = next_packet_uid()
+        self.hops = 0
+        self.flow_id = flow_id
+        self.range = rng
+        self.timestamp = timestamp
         self.send_rate_bytes_s = send_rate_bytes_s
         self.is_retransmission = is_retransmission
 
@@ -106,12 +116,19 @@ class DataPacket(LeotpPacket):
         echo_interest_owd: float = 0.0,
         retransmitted: bool = False,
     ) -> None:
-        payload = 0 if is_header else rng.length
-        super().__init__(
-            flow_id, rng,
-            size_bytes=payload + LEOTP_HEADER_BYTES + UDP_IP_OVERHEAD_BYTES,
-            timestamp=timestamp,
+        # Flattened constructor (no super() chain), as in Interest.
+        self.size_bytes = (
+            _WIRE_HEADER_BYTES if is_header
+            else rng.end - rng.start + _WIRE_HEADER_BYTES
         )
+        self.src = None
+        self.dst = None
+        self.created_at = timestamp
+        self.uid = next_packet_uid()
+        self.hops = 0
+        self.flow_id = flow_id
+        self.range = rng
+        self.timestamp = timestamp
         self.is_header = is_header
         self.origin_ts = origin_ts
         self.echo_interest_owd = echo_interest_owd

@@ -5,6 +5,12 @@ Usage::
     python -m repro.experiments                 # run everything at scale 0.5
     python -m repro.experiments fig12 table2    # run a subset
     python -m repro.experiments --scale 1.0 fig16
+    python -m repro.experiments --jobs 8        # process-pool fan-out
+    python -m repro.experiments --profile fig12 # cProfile dump per experiment
+
+``--jobs N`` runs experiments in up to N worker processes.  Each worker
+owns its own Simulator and RngRegistry, so the printed rows are
+bit-identical to a serial run — only the wall-clock changes.
 """
 
 from __future__ import annotations
@@ -14,6 +20,8 @@ import sys
 import time
 
 from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import ExperimentResult
+from repro.experiments.runner import run_experiments
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -28,17 +36,40 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=0.5,
                         help="duration scale factor (default 0.5)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run experiments in up to N processes (default 1: serial); "
+             "rows are bit-identical to the serial run",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="cProfile each experiment, dumping results/profiles/<id>.pstats",
+    )
     args = parser.parse_args(argv)
 
     names = args.experiments or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
-    for name in names:
-        t0 = time.time()
-        result = ALL_EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+    profile_dir = "results/profiles" if args.profile else None
+
+    t_start = time.time()
+    outcomes = run_experiments(
+        names, scale=args.scale, seed=args.seed,
+        jobs=args.jobs, profile_dir=profile_dir,
+    )
+    for outcome in outcomes:
+        result = ExperimentResult(**outcome.result)
         print(result.table())
-        print(f"(wall {time.time() - t0:.0f}s, scale {args.scale})\n")
+        line = f"(wall {outcome.wall_s:.0f}s, scale {args.scale}"
+        if outcome.profile_path:
+            line += f", profile {outcome.profile_path}"
+        print(line + ")\n")
+    if len(outcomes) > 1:
+        print(
+            f"total wall {time.time() - t_start:.0f}s for {len(outcomes)} "
+            f"experiments (jobs={args.jobs})"
+        )
     return 0
 
 

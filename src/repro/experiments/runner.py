@@ -1,0 +1,105 @@
+"""Serial and process-parallel experiment execution.
+
+``run_experiments`` is the single entry point behind
+``python -m repro.experiments``: it runs a list of experiment ids either
+in-process (``jobs=1``) or fanned out over a process pool (``jobs>1``).
+
+Determinism guarantee: every experiment constructs its own
+:class:`~repro.simcore.Simulator` and :class:`~repro.simcore.RngRegistry`
+from ``(scale, seed)`` alone — no state is shared between experiments —
+so the parallel rows are bit-identical to the serial rows.  Both paths
+execute the *same* worker function (:func:`run_one`); the pool only
+changes which process it runs in.  ``tests/test_parallel_runner.py``
+asserts the bit-identity per experiment id.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass
+class RunOutcome:
+    """One experiment's result rows plus run metadata."""
+
+    name: str
+    result: dict          # ExperimentResult.to_dict()
+    wall_s: float
+    profile_path: Optional[str] = None
+
+
+def run_one(
+    name: str,
+    scale: float,
+    seed: int,
+    profile_dir: Optional[str] = None,
+) -> RunOutcome:
+    """Run one experiment id; the unit of work for serial and pool runs.
+
+    Imports lazily so pool workers (``spawn`` start method included) pay
+    the import cost once per process, not per task.
+    """
+    from repro.experiments import ALL_EXPERIMENTS
+
+    run = ALL_EXPERIMENTS[name]
+    profile_path = None
+    t0 = time.time()
+    if profile_dir is not None:
+        import cProfile
+
+        os.makedirs(profile_dir, exist_ok=True)
+        profile_path = os.path.join(profile_dir, f"{name}.pstats")
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            result = run(scale=scale, seed=seed)
+        finally:
+            profiler.disable()
+            profiler.dump_stats(profile_path)
+    else:
+        result = run(scale=scale, seed=seed)
+    return RunOutcome(
+        name=name,
+        result=result.to_dict(),
+        wall_s=time.time() - t0,
+        profile_path=profile_path,
+    )
+
+
+def run_experiments(
+    names: Sequence[str],
+    scale: float,
+    seed: int,
+    jobs: int = 1,
+    profile_dir: Optional[str] = None,
+) -> list[RunOutcome]:
+    """Run ``names`` and return their outcomes in the requested order.
+
+    ``jobs > 1`` fans the experiments out over a process pool.  Output
+    order (and content — see the module docstring) is identical to the
+    serial run regardless of completion order.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if not names:
+        return []
+    if jobs == 1 or len(names) == 1:
+        return [run_one(name, scale, seed, profile_dir) for name in names]
+
+    outcomes: dict[str, RunOutcome] = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+        futures = {
+            pool.submit(run_one, name, scale, seed, profile_dir): name
+            for name in names
+        }
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                outcome = future.result()  # propagate worker exceptions
+                outcomes[outcome.name] = outcome
+    return [outcomes[name] for name in names]

@@ -187,7 +187,9 @@ class Link:
         rate = self.profile.rate_at(self.sim.now)
         tx_time = packet.size_bytes * 8.0 / rate
         self.stats.busy_time_s += tx_time
-        self.sim.schedule(tx_time, self._finish_transmission, packet)
+        # Fire-and-forget: serialisation completions are never cancelled
+        # (flush() only touches queued and in-flight packets).
+        self.sim.schedule_call(tx_time, self._finish_transmission, packet)
 
     def set_loss(self, plr: float, rng: Optional[np.random.Generator] = None) -> None:
         """Retune the Bernoulli loss rate at runtime (fault injection).

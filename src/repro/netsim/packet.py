@@ -13,6 +13,10 @@ from typing import Optional
 
 _packet_ids = itertools.count()
 
+#: Allocate the next packet uid.  Exposed for subclasses that flatten the
+#: constructor chain on per-packet hot paths (see repro.core.wire).
+next_packet_uid = _packet_ids.__next__
+
 
 class Packet:
     """A unit of transmission.

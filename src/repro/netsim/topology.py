@@ -271,7 +271,7 @@ class SwitchablePath:
             # Connectivity gap: the incoming path is not usable yet.
             new.ab.up = False
             new.ba.up = False
-            self.sim.schedule(self.blackout_s, self._bring_up, new)
+            self.sim.schedule_call(self.blackout_s, self._bring_up, new)
         else:
             self._bring_up(new)
 

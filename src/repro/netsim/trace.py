@@ -126,7 +126,7 @@ class TimeSeriesProbe:
         self._schedule()
 
     def _schedule(self) -> None:
-        self.sim.schedule(self._interval, self._sample)
+        self.sim.schedule_call(self._interval, self._sample)
 
     def _sample(self) -> None:
         self.times.append(self.sim.now)

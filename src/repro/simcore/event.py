@@ -17,7 +17,7 @@ class Event:
     user code normally only keeps the returned handle to :meth:`cancel` it.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(
         self,
@@ -26,6 +26,7 @@ class Event:
         seq: int,
         callback: Callable[..., Any],
         args: tuple,
+        sim: "Any | None" = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -33,13 +34,21 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        # Owning simulator (if any): cancellation is lazy, so the kernel
+        # counts zombies to know when heap compaction pays off.
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when its time comes.
 
         Cancelling an already-fired or already-cancelled event is a no-op.
         """
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            # The kernel detaches fired events (``_sim = None``), so only a
+            # cancel that actually leaves a zombie in the heap is counted.
+            if self._sim is not None:
+                self._sim._note_cancelled()
 
     # Heap ordering -------------------------------------------------------
 

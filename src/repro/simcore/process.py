@@ -54,6 +54,12 @@ class PeriodicProcess:
 
     The first call fires after ``first_delay`` (default: one interval).
     The interval may be changed between ticks via :attr:`interval`.
+
+    Ticks ride the kernel's :meth:`~repro.simcore.simulator.Simulator.
+    schedule_call` fast path, so a periodic process allocates no
+    :class:`Event` per tick.  ``stop()`` invalidates the pending tick by
+    generation number instead of cancelling it; the stale heap entry
+    fires as a no-op and is otherwise invisible.
     """
 
     def __init__(
@@ -68,10 +74,10 @@ class PeriodicProcess:
         self._sim = sim
         self.interval = interval
         self._callback = callback
-        self._event: Optional[Event] = None
         self._stopped = False
-        self._event = sim.schedule(
-            interval if first_delay is None else first_delay, self._tick
+        self._gen = 0
+        sim.schedule_call(
+            interval if first_delay is None else first_delay, self._tick, 0
         )
 
     @property
@@ -80,13 +86,11 @@ class PeriodicProcess:
 
     def stop(self) -> None:
         self._stopped = True
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
+        self._gen += 1
 
-    def _tick(self) -> None:
-        if self._stopped:
+    def _tick(self, gen: int) -> None:
+        if self._stopped or gen != self._gen:
             return
         self._callback()
         if not self._stopped:
-            self._event = self._sim.schedule(self.interval, self._tick)
+            self._sim.schedule_call(self.interval, self._tick, self._gen)

@@ -4,12 +4,28 @@ The simulator is a classic event-heap design: callbacks are scheduled at
 absolute or relative simulated times and executed in non-decreasing time
 order.  All protocol and network components in :mod:`repro` share a single
 :class:`Simulator` instance, which acts as the global, perfectly
-synchronised clock (see DESIGN.md, "Clock model").
+synchronised clock (see DESIGN.md, "Clock model" and "Performance model").
+
+Heap entries are ``(time, priority, seq, event_or_None, callback, args)``
+tuples: tuple comparison is much cheaper than calling ``Event.__lt__``
+millions of times in packet-heavy simulations, and keeping the callback
+in the tuple lets the run loop fire it without touching the ``Event``
+object at all.  The 4th slot is ``None`` for fire-and-forget callbacks
+scheduled through :meth:`Simulator.schedule_call` — the hot path used by
+pacing loops and link serialisation, which never cancel — so those skip
+the per-call :class:`Event` allocation entirely.
+
+Cancellation is lazy: cancelled entries stay in the heap and are skipped
+when popped.  The simulator counts them (:attr:`cancelled_pending`) and
+compacts the heap — filter + re-heapify, O(n) — whenever zombies are the
+majority, so long timer-churn runs (RTO re-arms, chaos suites) cannot
+bloat the heap.  Compaction never changes pop order: entries are totally
+ordered by their unique ``(time, priority, seq)`` prefix.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.simcore.event import Event
@@ -17,6 +33,11 @@ from repro.simcore.event import Event
 
 class SimulationError(RuntimeError):
     """Raised on invalid scheduling requests (e.g. scheduling in the past)."""
+
+
+# Compaction policy: scan/rebuild only when the heap is non-trivial and
+# more than half of it is cancelled zombies (amortised O(1) per cancel).
+_COMPACT_MIN_HEAP = 256
 
 
 class Simulator:
@@ -34,13 +55,12 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        # Heap entries are (time, priority, seq, event) tuples: tuple
-        # comparison is much cheaper than calling Event.__lt__ millions of
-        # times in packet-heavy simulations.
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._heap: list[tuple] = []
         self._now: float = 0.0
         self._seq: int = 0
         self._events_executed: int = 0
+        self._cancelled_pending: int = 0
+        self._compactions: int = 0
         self._running: bool = False
 
     # ------------------------------------------------------------------
@@ -59,8 +79,18 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events currently in the heap (including cancelled)."""
-        return len(self._heap)
+        """Number of live (non-cancelled) events currently in the heap."""
+        return len(self._heap) - self._cancelled_pending
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots (zombies)."""
+        return self._cancelled_pending
+
+    @property
+    def heap_compactions(self) -> int:
+        """Times the heap was rebuilt to shed cancelled entries."""
+        return self._compactions
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -80,7 +110,12 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, args, self)
+        heappush(self._heap, (time, priority, seq, event, callback, args))
+        return event
 
     def schedule_at(
         self,
@@ -94,10 +129,73 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} (now={self._now})"
             )
-        event = Event(time, priority, self._seq, callback, args)
-        heapq.heappush(self._heap, (time, priority, self._seq, event))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, args, self)
+        heappush(self._heap, (time, priority, seq, event, callback, args))
         return event
+
+    def schedule_call(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        """Fire-and-forget fast path: like :meth:`schedule`, but returns no
+        handle and allocates no :class:`Event`.
+
+        Use it for callbacks that are never cancelled (pacing ticks, link
+        serialisation completions, periodic samplers) — the dominant class
+        of events in packet-heavy runs.  Semantics (ordering, clock) are
+        identical to :meth:`schedule`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(
+            self._heap, (self._now + delay, priority, seq, None, callback, args)
+        )
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[[], Any],
+        first_delay: Optional[float] = None,
+    ) -> "PeriodicProcess":
+        """Batched timer facility: run ``callback()`` every ``interval``
+        seconds without allocating an :class:`Event` per tick.
+
+        Returns the :class:`~repro.simcore.process.PeriodicProcess` handle
+        (``.stop()``, mutable ``.interval``).
+        """
+        from repro.simcore.process import PeriodicProcess
+
+        return PeriodicProcess(self, interval, callback, first_delay=first_delay)
+
+    # ------------------------------------------------------------------
+    # Cancellation accounting (called by Event.cancel)
+    # ------------------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_pending += 1
+        if (
+            len(self._heap) >= _COMPACT_MIN_HEAP
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (pop order unchanged)."""
+        self._heap = [
+            entry
+            for entry in self._heap
+            if entry[3] is None or not entry[3].cancelled
+        ]
+        heapify(self._heap)
+        self._cancelled_pending = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -129,16 +227,23 @@ class Simulator:
         executed = 0
         deadline = None
         if wall_timeout_s is not None:
-            import time
+            import time as _time
 
-            deadline = time.monotonic() + wall_timeout_s
+            monotonic = _time.monotonic
+            deadline = monotonic() + wall_timeout_s
             check_mask = 0xFFF  # poll the wall clock every 4096 events
+        # Local bindings keep the hot loop free of repeated global/attr
+        # lookups; self._now is still written through the attribute so
+        # callbacks observe the advancing clock.
+        heap = self._heap
+        pop = heappop
         try:
-            while self._heap:
-                entry = self._heap[0]
+            while heap:
+                entry = heap[0]
                 event = entry[3]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
+                if event is not None and event.cancelled:
+                    pop(heap)
+                    self._cancelled_pending -= 1
                     continue
                 if until is not None and entry[0] > until:
                     break
@@ -147,40 +252,69 @@ class Simulator:
                 if (
                     deadline is not None
                     and executed & check_mask == check_mask
-                    and time.monotonic() > deadline
+                    and monotonic() > deadline
                 ):
                     raise SimulationError(
                         f"wall-clock watchdog expired after {wall_timeout_s}s "
                         f"(simulated t={self._now:.3f}, {executed} events this run)"
                     )
-                heapq.heappop(self._heap)
+                pop(heap)
+                if event is not None:
+                    event._sim = None  # fired: later cancel() is a no-op
                 self._now = entry[0]
-                event.callback(*event.args)
-                self._events_executed += 1
+                entry[4](*entry[5])
                 executed += 1
+                if heap is not self._heap:  # a callback triggered compaction
+                    heap = self._heap
         finally:
             self._running = False
+            self._events_executed += executed
         if until is not None and self._now < until:
             self._now = until
         return self._now
 
     def step(self) -> bool:
-        """Execute exactly one pending event.  Returns False if none remain."""
-        while self._heap:
-            time, _, _, event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = time
-            event.callback(*event.args)
-            self._events_executed += 1
-            return True
-        return False
+        """Execute exactly one pending event.  Returns False if none remain.
+
+        Shares the :meth:`run` machinery: the re-entrancy guard is held
+        while the callback executes and the clock advances through the
+        same path, so ``step()`` inside a running simulation raises
+        instead of corrupting the heap.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            heap = self._heap
+            while heap:
+                entry = heappop(heap)
+                event = entry[3]
+                if event is not None:
+                    if event.cancelled:
+                        self._cancelled_pending -= 1
+                        continue
+                    event._sim = None  # fired: later cancel() is a no-op
+                self._now = entry[0]
+                entry[4](*entry[5])
+                self._events_executed += 1
+                return True
+            return False
+        finally:
+            self._running = False
 
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, or None if the heap is empty."""
-        while self._heap and self._heap[0][3].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[3] is None or not entry[3].cancelled:
+                return entry[0]
+            heappop(heap)
+            self._cancelled_pending -= 1
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Simulator t={self._now:.6f} pending={len(self._heap)}>"
+        return (
+            f"<Simulator t={self._now:.6f} pending={self.pending_events} "
+            f"zombies={self._cancelled_pending}>"
+        )

@@ -176,7 +176,7 @@ class TcpSender(Node):
         self.timeouts = 0
         self.completed_at: Optional[float] = None
         self._started = False
-        sim.schedule(start_time, self.start)
+        sim.schedule_call(start_time, self.start)
 
     # ------------------------------------------------------------------
 
@@ -244,7 +244,7 @@ class TcpSender(Node):
         assert rate is not None
         interval = self.mss * 8.0 / max(rate, 1e3)
         self._pace_pending = True
-        self.sim.schedule(interval, self._pace_tick)
+        self.sim.schedule_call(interval, self._pace_tick)
 
     def _pace_tick(self) -> None:
         self._pace_pending = False

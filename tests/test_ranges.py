@@ -209,3 +209,101 @@ def test_first_missing_from_matches_model(ops, offset):
     while expect in present:
         expect += 1
     assert rs.first_missing_from(offset) == expect
+
+
+class TestRangeSetEdgeCases:
+    """Deterministic corner cases: removal splits, exact-boundary holes,
+    empty-set queries, and the O(1) cached length invariant."""
+
+    def test_remove_splits_interval(self):
+        rs = RangeSet([ByteRange(0, 100)])
+        rs.remove(ByteRange(40, 60))
+        assert rs.intervals() == [ByteRange(0, 40), ByteRange(60, 100)]
+        assert len(rs) == 80
+
+    def test_remove_exact_interval(self):
+        rs = RangeSet([ByteRange(10, 20), ByteRange(30, 40)])
+        rs.remove(ByteRange(10, 20))
+        assert rs.intervals() == [ByteRange(30, 40)]
+        assert len(rs) == 10
+
+    def test_remove_at_exact_boundaries_is_noop(self):
+        rs = RangeSet([ByteRange(10, 20)])
+        rs.remove(ByteRange(0, 10))   # ends exactly at interval start
+        rs.remove(ByteRange(20, 30))  # starts exactly at interval end
+        assert rs.intervals() == [ByteRange(10, 20)]
+        assert len(rs) == 10
+
+    def test_remove_spanning_multiple_intervals(self):
+        rs = RangeSet([ByteRange(0, 10), ByteRange(20, 30), ByteRange(40, 50)])
+        rs.remove(ByteRange(5, 45))
+        assert rs.intervals() == [ByteRange(0, 5), ByteRange(45, 50)]
+        assert len(rs) == 10
+
+    def test_remove_from_empty_set(self):
+        rs = RangeSet()
+        rs.remove(ByteRange(0, 100))
+        assert rs.intervals() == []
+        assert len(rs) == 0
+
+    def test_missing_within_on_empty_set(self):
+        rs = RangeSet()
+        assert rs.missing_within(ByteRange(5, 15)) == [ByteRange(5, 15)]
+
+    def test_missing_within_holes_at_exact_boundaries(self):
+        rs = RangeSet([ByteRange(10, 20), ByteRange(30, 40)])
+        # Query starts exactly at an interval start and ends exactly at an
+        # interval end: the only hole is the inter-interval gap.
+        assert rs.missing_within(ByteRange(10, 40)) == [ByteRange(20, 30)]
+
+    def test_missing_within_query_fully_covered(self):
+        rs = RangeSet([ByteRange(0, 100)])
+        assert rs.missing_within(ByteRange(25, 75)) == []
+
+    def test_missing_within_query_touching_interval_edges(self):
+        rs = RangeSet([ByteRange(10, 20)])
+        assert rs.missing_within(ByteRange(0, 10)) == [ByteRange(0, 10)]
+        assert rs.missing_within(ByteRange(20, 30)) == [ByteRange(20, 30)]
+
+    def test_contains_and_overlaps_on_empty_set(self):
+        rs = RangeSet()
+        assert not rs.contains(ByteRange(0, 1))
+        assert not rs.overlaps(ByteRange(0, 1))
+        assert rs.first_missing_from(7) == 7
+
+    def test_cached_len_tracks_adds_and_removes(self):
+        rs = RangeSet()
+        rs.add(ByteRange(0, 10))
+        rs.add(ByteRange(5, 15))      # overlapping merge
+        rs.add(ByteRange(15, 20))     # adjacent merge
+        rs.add(ByteRange(100, 110))   # disjoint
+        assert len(rs) == 30
+        rs.remove(ByteRange(8, 12))   # split
+        assert len(rs) == 26
+        rs.remove(ByteRange(0, 200))  # clear
+        assert len(rs) == 0
+        assert sum(r.length for r in rs) == 0
+
+    def test_cached_len_matches_recount_under_churn(self):
+        rs = RangeSet()
+        for i in range(0, 400, 3):
+            rs.add(ByteRange(i, i + 5))
+        for i in range(0, 400, 7):
+            rs.remove(ByteRange(i, i + 4))
+        assert len(rs) == sum(r.length for r in rs)
+
+
+class TestByteRangeUnchecked:
+    def test_unchecked_equals_checked(self):
+        assert ByteRange.unchecked(3, 9) == ByteRange(3, 9)
+        assert hash(ByteRange.unchecked(3, 9)) == hash(ByteRange(3, 9))
+
+    def test_checked_constructor_still_validates(self):
+        with pytest.raises(ValueError):
+            ByteRange(5, 5)
+        with pytest.raises(ValueError):
+            ByteRange(-1, 4)
+
+    def test_ordering(self):
+        assert ByteRange(0, 5) < ByteRange(0, 6) < ByteRange(1, 2)
+        assert max(ByteRange(4, 8), ByteRange(2, 20)) == ByteRange(4, 8)

@@ -247,3 +247,190 @@ class TestRngRegistry:
         f2 = base.fork(2).stream("s").random(3)
         assert list(f1) == list(f1b)
         assert list(f1) != list(f2)
+
+
+class TestSchedulingFastPath:
+    """schedule_call / schedule_periodic: the no-handle kernel fast path."""
+
+    def test_schedule_call_fires_in_order_with_schedule(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule_call(1.0, fired.append, "b")  # same time: seq order
+        sim.schedule_call(0.5, fired.append, "c")
+        sim.run()
+        assert fired == ["c", "a", "b"]
+
+    def test_schedule_call_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_call(-0.1, lambda: None)
+
+    def test_schedule_call_priority(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_call(1.0, fired.append, "low", priority=5)
+        sim.schedule_call(1.0, fired.append, "high", priority=1)
+        sim.run()
+        assert fired == ["high", "low"]
+
+    def test_schedule_periodic_ticks_and_stops(self):
+        sim = Simulator()
+        ticks = []
+        proc = sim.schedule_periodic(1.0, lambda: ticks.append(sim.now))
+        sim.schedule(2.5, proc.stop)
+        sim.run(until=6.0)
+        assert ticks == [1.0, 2.0]
+        assert not proc.running
+
+
+class TestCancellationAccounting:
+    """pending_events / cancelled_pending stay exact under lazy cancel."""
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+        assert sim.pending_events == 4
+        events[0].cancel()
+        events[2].cancel()
+        assert sim.pending_events == 2
+        assert sim.cancelled_pending == 2
+
+    def test_double_cancel_counted_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.cancelled_pending == 1
+
+    def test_cancel_after_fire_is_not_counted(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()
+        assert sim.cancelled_pending == 0
+        assert sim.pending_events == 0
+
+    def test_peek_time_prunes_and_accounts(self):
+        sim = Simulator()
+        e1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        e1.cancel()
+        assert sim.cancelled_pending == 1
+        assert sim.peek_time() == 2.0
+        assert sim.cancelled_pending == 0  # zombie popped during peek
+        assert sim.pending_events == 1
+
+    def test_run_reconciles_counter_when_popping_zombies(self):
+        sim = Simulator()
+        keep = []
+        for i in range(10):
+            event = sim.schedule(float(i + 1), keep.append, i)
+            if i % 2 == 0:
+                event.cancel()
+        sim.run()
+        assert keep == [1, 3, 5, 7, 9]
+        assert sim.cancelled_pending == 0
+        assert sim.pending_events == 0
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_triggers_compaction(self):
+        sim = Simulator()
+        events = [sim.schedule(1000.0, lambda: None) for _ in range(600)]
+        for event in events:
+            event.cancel()
+        assert sim.heap_compactions >= 1
+        # The heap sheds the zombie majority; only a residue below the
+        # compaction floor (256 entries) may remain, and it is accounted.
+        assert len(sim._heap) < 300
+        assert sim.pending_events == 0
+
+    def test_compaction_preserves_firing_order(self):
+        sim = Simulator()
+        fired = []
+        survivors = []
+        # Interleave survivors with a zombie majority, then force compaction.
+        for i in range(400):
+            if i % 4 == 0:
+                survivors.append((i, sim.schedule(1.0 + i * 1e-3, fired.append, i)))
+            else:
+                sim.schedule(1.0 + i * 1e-3, fired.append, -i).cancel()
+        assert sim.heap_compactions >= 1
+        sim.run()
+        assert fired == [i for i, _ in survivors]
+
+    def test_compaction_with_schedule_call_entries(self):
+        """Fire-and-forget entries survive compaction untouched."""
+        sim = Simulator()
+        fired = []
+        for i in range(300):
+            sim.schedule_call(2.0, fired.append, i)
+        for _ in range(600):
+            sim.schedule(1000.0, lambda: None).cancel()
+        assert sim.heap_compactions >= 1
+        sim.run(until=3.0)
+        assert fired == list(range(300))
+
+    def test_timer_rearm_churn_keeps_heap_bounded(self):
+        """The RTO re-arm pattern cannot bloat the heap with zombies."""
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        for _ in range(5000):
+            timer.arm(1000.0)
+        assert len(sim._heap) < 2500  # without compaction this would be 5000
+        assert sim.pending_events == 1
+
+
+class TestStepGuard:
+    def test_step_advances_clock_like_run(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        assert sim.step() is True
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_step_respects_reentrancy_guard(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.step()
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert errors and "reentrant" in errors[0]
+
+    def test_run_inside_step_is_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        sim.schedule(1.0, reenter)
+        assert sim.step() is True
+        assert errors and "reentrant" in errors[0]
+
+    def test_step_skips_cancelled_and_accounts(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "x").cancel()
+        sim.schedule(2.0, fired.append, "y")
+        assert sim.step() is True
+        assert fired == ["y"]
+        assert sim.cancelled_pending == 0
+
+    def test_events_executed_counts_steps_and_runs(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.step()
+        sim.run()
+        assert sim.events_executed == 3
