@@ -1,4 +1,4 @@
-"""Analytical models (paper Sec. II-B) and statistics utilities."""
+"""Analytical models (paper Sec. II-B), statistics, and run reporting."""
 
 from repro.analysis.formulas import (
     end_to_end_plr,
@@ -10,10 +10,24 @@ from repro.analysis.formulas import (
     throughput_hbh,
 )
 from repro.analysis.owd_model import OwdDistribution, simulate_owd_e2e, simulate_owd_hbh
+from repro.analysis.report import (
+    cache_efficiency,
+    event_counts,
+    rate_ladder,
+    recovery_latency_ms,
+    recovery_timeline,
+    run_summary,
+)
 from repro.analysis.stats import jain_fairness, percentile, summarize
 
 __all__ = [
     "OwdDistribution",
+    "cache_efficiency",
+    "event_counts",
+    "rate_ladder",
+    "recovery_latency_ms",
+    "recovery_timeline",
+    "run_summary",
     "end_to_end_plr",
     "hbh_owd_ratio",
     "hbh_throughput_gain",

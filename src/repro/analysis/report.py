@@ -1,0 +1,234 @@
+"""Render trace/metrics streams into per-run analysis summaries.
+
+This module is the read side of :mod:`repro.obs`: it consumes the record
+and sample streams (live lists or reloaded JSONL) and answers the
+questions the paper's evaluation asks of internal state —
+
+* **recovery latency** (Fig. 10): OWD of retransmitted vs. first-copy
+  deliveries at the Consumer, and the recovery cost between them;
+* **recovery timeline**: the interleaving of drops, VPH announcements,
+  SHR re-requests, TR expirations, cache hits, fault transitions, and
+  invariant violations around a loss episode;
+* **per-hop rate ladder** (Figs. 9/14): final and mean cwnd / advertised
+  rate / backpressure bound / buffer length per hop controller;
+* **cache efficiency** (Fig. 19 / Sec. IV-A): per-Midnode hit ratio and
+  bytes served from cache.
+
+:func:`run_summary` bundles all of the above into the human-readable
+block that ``python -m repro.experiments <id> --trace`` prints after each
+experiment table, and that the chaos harness attaches to its reports.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Optional, Sequence
+
+#: Event kinds worth showing on a recovery timeline (in addition to any
+#: invariant violations and fault transitions, which are always shown).
+TIMELINE_EVENTS = (
+    "link_drop",
+    "buffer_drop",
+    "vph_send",
+    "vph_recv",
+    "shr_request",
+    "retx_interest",
+    "tr_expire",
+    "node_crash",
+    "fault",
+    "invariant_violation",
+    "flow_complete",
+)
+
+
+def event_counts(records: Sequence[dict]) -> Counter:
+    """Record count per event kind."""
+    return Counter(rec["event"] for rec in records)
+
+
+def recovery_latency_ms(
+    records: Sequence[dict], flow: Optional[str] = None
+) -> Optional[dict]:
+    """Recovery-latency statistics from Consumer ``data_recv`` records.
+
+    Returns ``None`` when no retransmitted delivery was traced, else a
+    dict with mean/median OWD of first-copy deliveries, mean OWD of
+    retransmitted (repaired) deliveries, and their difference
+    ``recovery_cost_ms`` — the quantity Fig. 10 plots.
+    """
+    normal: list[float] = []
+    retx: list[float] = []
+    for rec in records:
+        if rec["event"] != "data_recv":
+            continue
+        if flow is not None and rec.get("flow") != flow:
+            continue
+        (retx if rec.get("retx") else normal).append(rec["owd_s"] * 1000.0)
+    if not retx or not normal:
+        return None
+    normal_sorted = sorted(normal)
+    p50 = normal_sorted[len(normal_sorted) // 2]
+    return {
+        "normal_owd_mean_ms": sum(normal) / len(normal),
+        "normal_owd_p50_ms": p50,
+        "retx_owd_mean_ms": sum(retx) / len(retx),
+        "recovery_cost_ms": sum(retx) / len(retx) - p50,
+        "normal_deliveries": len(normal),
+        "retx_deliveries": len(retx),
+    }
+
+
+def recovery_timeline(
+    records: Sequence[dict],
+    limit: int = 40,
+    events: Sequence[str] = TIMELINE_EVENTS,
+) -> list[dict]:
+    """The notable records, in time order, truncated to ``limit``.
+
+    Deliveries and routine sends are omitted — the timeline is the story
+    of what went wrong and how the protocol repaired it.
+    """
+    wanted = set(events)
+    picked = [rec for rec in records if rec["event"] in wanted]
+    picked.sort(key=lambda rec: rec["t"])
+    return picked[:limit]
+
+
+def rate_ladder(samples: Sequence[dict], run: Optional[str] = None) -> list[dict]:
+    """Final/mean value per sampled series, one row per (node, series).
+
+    With hop-by-hop control the cwnd / rate / rate_bp / BL series of
+    successive Midnodes form the paper's "rate ladder": each hop's
+    advertised rate bounded by its downstream neighbour plus the buffer
+    correction of eq. (9).  Rows keep first-seen series order, which
+    follows the path layout.
+    """
+    order: list[tuple[str, str]] = []
+    values: dict[tuple[str, str], list[float]] = defaultdict(list)
+    for row in samples:
+        if row.get("event") != "sample":
+            continue
+        if run is not None and row.get("run") != run:
+            continue
+        key = (row["node"], row["series"])
+        if key not in values:
+            order.append(key)
+        values[key].append(row["value"])
+    out = []
+    for node, series in order:
+        vals = values[(node, series)]
+        out.append({
+            "node": node,
+            "series": series,
+            "samples": len(vals),
+            "mean": sum(vals) / len(vals),
+            "last": vals[-1],
+        })
+    return out
+
+
+def cache_efficiency(records: Sequence[dict]) -> list[dict]:
+    """Per-node cache effectiveness from ``cache_hit``/``cache_miss`` records."""
+    per_node: dict[str, dict] = {}
+    for rec in records:
+        if rec["event"] not in ("cache_hit", "cache_miss"):
+            continue
+        row = per_node.setdefault(
+            rec["node"],
+            {"node": rec["node"], "lookups": 0, "hits": 0,
+             "hit_bytes": 0, "miss_bytes": 0},
+        )
+        row["lookups"] += 1
+        if rec["event"] == "cache_hit":
+            row["hits"] += 1
+        row["hit_bytes"] += rec.get("hit_bytes", 0)
+        row["miss_bytes"] += rec.get("miss_bytes", 0)
+    out = []
+    for row in per_node.values():
+        row["hit_ratio"] = row["hits"] / row["lookups"] if row["lookups"] else 0.0
+        out.append(row)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+def _fmt_value(value: float) -> str:
+    if value != value or math.isinf(value):  # NaN/inf guards for renderers
+        return str(value)
+    if abs(value) >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if abs(value) >= 1e3:
+        return f"{value / 1e3:.1f}k"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.4f}"
+
+
+def _fmt_timeline_entry(rec: dict) -> str:
+    t = f"t={rec['t']:9.4f}s"
+    extras = []
+    if "start" in rec and "end" in rec:
+        extras.append(f"[{rec['start']}, {rec['end']})")
+    for key in ("flow", "reason", "kind", "retries", "detail"):
+        if key in rec:
+            extras.append(f"{key}={rec[key]}")
+    suffix = "  " + " ".join(str(e) for e in extras) if extras else ""
+    return f"  {t}  {rec['event']:<20} {rec['node']}{suffix}"
+
+
+def run_summary(
+    records: Sequence[dict],
+    samples: Sequence[dict] = (),
+    title: str = "run",
+    timeline_limit: int = 25,
+) -> str:
+    """Human-readable per-run summary (the ``--trace`` CLI output)."""
+    lines = [f"-- observability summary: {title} --"]
+
+    counts = event_counts(records)
+    if counts:
+        ordered = ", ".join(
+            f"{event}={n}" for event, n in sorted(counts.items())
+        )
+        lines.append(f"events ({sum(counts.values())} records): {ordered}")
+    else:
+        lines.append("events: none recorded")
+
+    latency = recovery_latency_ms(records)
+    if latency is not None:
+        lines.append(
+            "recovery latency: first-copy OWD p50 "
+            f"{latency['normal_owd_p50_ms']:.1f} ms, repaired-copy mean "
+            f"{latency['retx_owd_mean_ms']:.1f} ms -> recovery cost "
+            f"{latency['recovery_cost_ms']:.1f} ms "
+            f"({latency['retx_deliveries']} repaired deliveries)"
+        )
+
+    cache_rows = cache_efficiency(records)
+    if cache_rows:
+        lines.append("cache efficiency:")
+        for row in cache_rows:
+            lines.append(
+                f"  {row['node']:<16} {row['lookups']:>6} lookups, "
+                f"hit ratio {row['hit_ratio']:.2f}, "
+                f"{row['hit_bytes']} B served from cache"
+            )
+
+    ladder = rate_ladder(samples)
+    if ladder:
+        lines.append("per-hop state (mean / last over sampled run):")
+        for row in ladder:
+            lines.append(
+                f"  {row['series']:<36} mean {_fmt_value(row['mean']):>9}  "
+                f"last {_fmt_value(row['last']):>9}  ({row['samples']} samples)"
+            )
+
+    timeline = recovery_timeline(records, limit=timeline_limit)
+    if timeline:
+        lines.append(f"recovery timeline (first {len(timeline)} notable events):")
+        lines.extend(_fmt_timeline_entry(rec) for rec in timeline)
+
+    return "\n".join(lines)

@@ -1,4 +1,9 @@
-"""Statistics utilities shared by the experiment harness."""
+"""Statistics utilities shared by the experiment harness.
+
+Small, dependency-free helpers: linear-interpolation percentiles (the
+OWD distributions of Figs. 4-5/10), five-number summaries for result
+tables, and Jain's fairness index for the multi-flow study (Fig. 18).
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,26 @@
-"""LEOTP: the paper's information-centric transport protocol."""
+"""LEOTP: the paper's information-centric transport protocol (Sec. III).
+
+The package maps one module per mechanism of the design:
+
+* :mod:`~repro.core.wire` — Interest/Data packets and the byte-range
+  naming scheme (Sec. III-A).
+* :mod:`~repro.core.consumer` — the pull-based receiver: Timeout
+  Retransmission, local SHR, and the last hop's rate control (Sec. III-B/C).
+* :mod:`~repro.core.midnode` — the in-network agent: BlockCache,
+  hole detection + VPH announcement, hop-by-hop retransmission and rate
+  control (Sec. III-B/C, Algorithm 1).
+* :mod:`~repro.core.producer` — the stateless-per-packet content source.
+* :mod:`~repro.core.congestion` — the hop window of eq. (8) and the
+  backpressure rate bound of eq. (9) (Sec. III-C).
+* :mod:`~repro.core.shr` — Sequence Hole Retransmission (Algorithm 1).
+* :mod:`~repro.core.cache` / :mod:`~repro.core.paced` — block cache and
+  token-bucket pacing supporting the above.
+* :mod:`~repro.core.flow` — wiring of full paths at a given Midnode
+  coverage (the partial-deployment study, Fig. 15).
+
+Instrumentation hooks throughout the package emit to
+:data:`repro.obs.TRACER` and are free when tracing is disabled.
+"""
 
 from repro.core.cache import BlockCache, CacheStats
 from repro.core.config import (

@@ -51,6 +51,12 @@ class TokenBucket:
     def rate_bytes_s(self) -> float:
         return self._rate
 
+    @property
+    def tokens_available(self) -> float:
+        """Current token level, read-only (used by metrics samplers)."""
+        elapsed = self.sim.now - self._last_update
+        return min(self.burst_bytes, self._tokens + elapsed * self._rate)
+
     def set_rate(self, rate_bytes_s: float) -> None:
         if rate_bytes_s <= 0:
             raise ValueError("rate must be positive")

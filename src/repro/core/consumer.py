@@ -1,4 +1,6 @@
-"""The LEOTP Consumer: pull-based receiver, TR reliability, rate control.
+"""The LEOTP Consumer: pull-based receiver, TR reliability, rate control
+(Sec. III-B reliability, Sec. III-C congestion control; evaluated in
+Figs. 4-5 and 10-12).
 
 The Consumer is the only node that tracks ongoing transfers (the paper's
 "only the receiver records the states of ongoing packets").  It:
@@ -28,6 +30,7 @@ from repro.netsim.link import Link
 from repro.netsim.node import Node
 from repro.netsim.packet import Packet
 from repro.netsim.trace import FlowRecorder
+from repro.obs.tracer import TRACER
 from repro.simcore.simulator import Simulator
 
 
@@ -233,6 +236,12 @@ class Consumer(Node):
                 self.rto.max_rto_s,
             )
             state.deadline = now + timeout
+        if TRACER.enabled:
+            TRACER.emit(
+                now, "interest_send", self.name, flow=self.flow_id,
+                start=rng.start, end=rng.end, retx=retransmission,
+                rate=interest.send_rate_bytes_s,
+            )
         self.out_link.send(interest)
 
     # ------------------------------------------------------------------
@@ -248,6 +257,12 @@ class Consumer(Node):
                 if state.retries >= self.config.tr_max_retries:
                     continue  # give up silently; reliability bound reached
                 self.tr_expirations += 1
+                if TRACER.enabled:
+                    TRACER.emit(
+                        now, "tr_expire", self.name, flow=self.flow_id,
+                        start=state.rng.start, end=state.rng.end,
+                        retries=state.retries, rto_s=self.rto.rto_s,
+                    )
                 self._send_interest(state.rng, retransmission=True)
         self.sim.schedule_call(self.config.tr_check_interval_s, self._tr_tick)
 
@@ -281,6 +296,12 @@ class Consumer(Node):
         # missing_within() yields exactly the not-yet-received sub-ranges.
         new_bytes = sum(r.length for r in self._received.missing_within(rng))
         self.duplicate_bytes_received += rng.length - new_bytes
+        if TRACER.enabled:
+            TRACER.emit(
+                now, "data_recv", self.name, flow=self.flow_id,
+                start=rng.start, end=rng.end, new_bytes=new_bytes,
+                owd_s=now - packet.origin_ts, retx=packet.retransmitted,
+            )
         if new_bytes > 0:
             self.bytes_received += new_bytes
             if self.recorder is not None:
@@ -304,12 +325,22 @@ class Consumer(Node):
             and self._received.contains(ByteRange(0, self.total_bytes))
         ):
             self.completed_at = now
+            if TRACER.enabled:
+                TRACER.emit(
+                    now, "flow_complete", self.name, flow=self.flow_id,
+                    total_bytes=self.total_bytes,
+                )
 
     def _on_vph(self, packet: DataPacket) -> None:
         """A hole notification: in-network repair is under way, so push the
         TR deadline of the overlapping Interests out by one fresh RTO."""
         self.vph_received += 1
         now = self.sim.now
+        if TRACER.enabled:
+            TRACER.emit(
+                now, "vph_recv", self.name, flow=self.flow_id,
+                start=packet.range.start, end=packet.range.end,
+            )
         self.shr.on_packet(packet.range)
         for state in self._outstanding.values():
             if state.rng.overlaps(packet.range):
@@ -317,6 +348,11 @@ class Consumer(Node):
 
     def _request_hole(self, hole: ByteRange) -> None:
         """SHR-confirmed hole: immediately re-request overlapping Interests."""
+        if TRACER.enabled:
+            TRACER.emit(
+                self.sim.now, "shr_request", self.name, flow=self.flow_id,
+                start=hole.start, end=hole.end,
+            )
         for state in list(self._outstanding.values()):
             if state.rng.overlaps(hole) and state.retries < self.config.tr_max_retries:
                 self._send_interest(state.rng, retransmission=True)

@@ -1,4 +1,13 @@
-"""High-level wiring of LEOTP transfers over the standard topologies."""
+"""High-level wiring of LEOTP transfers over the standard topologies.
+
+:func:`build_leotp_path` assembles Producer → intermediates → Consumer
+over an N-hop chain; ``coverage`` selects how many intermediates are
+true Midnodes versus transparent forwarders, reproducing the paper's
+partial-deployment study (Sec. V-B, Fig. 15).  When the global metrics
+registry is enabled, built paths are auto-instrumented with the
+read-only samplers of :mod:`repro.obs` — experiments need no wiring
+changes to become observable.
+"""
 
 from __future__ import annotations
 
@@ -13,6 +22,7 @@ from repro.netsim.link import DuplexLink
 from repro.netsim.node import ChainForwarder, Node, wire_chain_forwarders
 from repro.netsim.topology import HopSpec, build_chain
 from repro.netsim.trace import FlowRecorder
+from repro.obs.metrics import METRICS, attach_leotp_samplers
 from repro.simcore.random import RngRegistry
 from repro.simcore.simulator import Simulator
 
@@ -101,4 +111,9 @@ def build_leotp_path(
     for i, node in enumerate(intermediates):
         if isinstance(node, Midnode):
             node.set_upstream(links[i].ba)
-    return LeotpPath(producer, intermediates, consumer, recorder, links)
+    path = LeotpPath(producer, intermediates, consumer, recorder, links)
+    if METRICS.enabled:
+        # Observation is read-only: samplers never touch protocol state,
+        # so results are bit-identical with metrics on or off.
+        attach_leotp_samplers(sim, path)
+    return path

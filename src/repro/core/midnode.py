@@ -37,6 +37,7 @@ from repro.core.wire import DataPacket, Interest
 from repro.netsim.link import Link
 from repro.netsim.node import Node
 from repro.netsim.packet import Packet
+from repro.obs.tracer import TRACER
 from repro.simcore.simulator import Simulator
 
 
@@ -145,6 +146,12 @@ class Midnode(Node):
         """
         super().crash()
         self.stats.crashes += 1
+        if TRACER.enabled:
+            TRACER.emit(
+                self.sim.now, "node_crash", self.name,
+                cache_bytes_lost=self.cache.stored_bytes,
+                flows_lost=len(self._flows),
+            )
         for state in self._flows.values():
             state.sender.reset()
         self._flows.clear()
@@ -261,6 +268,15 @@ class Midnode(Node):
                         if not state.sender.enqueue(response, state.downstream_link):
                             state.queued.remove(rng)
                 remaining = self._subtract(interest.range, covered)
+            if TRACER.enabled:
+                miss_bytes = sum(r.length for r in remaining)
+                hit_bytes = interest.range.length - miss_bytes
+                TRACER.emit(
+                    now, "cache_hit" if hit_bytes > 0 else "cache_miss",
+                    self.name, flow=interest.flow_id,
+                    start=interest.range.start, end=interest.range.end,
+                    hit_bytes=hit_bytes, miss_bytes=miss_bytes,
+                )
         # Forward the uncovered remainder upstream, re-stamped with this
         # node's own Requester rate.
         upstream = self._upstream_for(interest.flow_id)
@@ -311,6 +327,11 @@ class Midnode(Node):
             # VPHs go downstream ahead of the triggering packet.
             if cfg.enable_vph:
                 for hole in actions.announce:
+                    if TRACER.enabled:
+                        TRACER.emit(
+                            now, "vph_send", self.name, flow=packet.flow_id,
+                            start=hole.start, end=hole.end,
+                        )
                     vph = DataPacket(
                         packet.flow_id, hole, timestamp=now, is_header=True,
                     )
@@ -340,6 +361,11 @@ class Midnode(Node):
             if self.config.hop_by_hop_cc
             else state.last_downstream_rate
         )
+        if TRACER.enabled:
+            TRACER.emit(
+                self.sim.now, "retx_interest", self.name, flow=flow_id,
+                start=hole.start, end=hole.end,
+            )
         for chunk in hole.split(self.config.mss):
             interest = Interest(
                 flow_id, chunk, timestamp=self.sim.now,

@@ -14,6 +14,7 @@ from typing import Callable, Optional
 
 from repro.core.congestion import TokenBucket
 from repro.core.wire import DataPacket
+from repro.obs.tracer import TRACER
 from repro.simcore.simulator import Simulator
 
 
@@ -128,6 +129,12 @@ class PacedSender:
         self._link = link
         if self._buffered_bytes + packet.size_bytes > self.max_buffer_bytes:
             self.packets_dropped += 1
+            if TRACER.enabled:
+                TRACER.emit(
+                    self.sim.now, "buffer_drop", self.name,
+                    flow=packet.flow_id, start=packet.range.start,
+                    end=packet.range.end, backlog=self._buffered_bytes,
+                )
             return False
         self._queue.append(packet)
         self._buffered_bytes += packet.size_bytes

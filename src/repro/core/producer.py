@@ -19,6 +19,7 @@ from repro.core.wire import DataPacket, Interest
 from repro.netsim.link import Link
 from repro.netsim.node import Node
 from repro.netsim.packet import Packet
+from repro.obs.tracer import TRACER
 from repro.simcore.simulator import Simulator
 
 
@@ -95,6 +96,12 @@ class Producer(Node):
         self.data_packets_sent += 1
         if out.retransmitted:
             self.retransmitted_packets += 1
+        if TRACER.enabled:
+            TRACER.emit(
+                now, "data_send", self.name, flow=flow_id,
+                start=out.range.start, end=out.range.end,
+                retx=out.retransmitted,
+            )
         return out
 
     def backlog_bytes(self, flow_id: str) -> int:

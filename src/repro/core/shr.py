@@ -1,4 +1,5 @@
-"""Sequence Hole Retransmission: the loss detector of Algorithm 1.
+"""Sequence Hole Retransmission: the loss detector of Algorithm 1
+(Sec. III-B; its latency benefit is the subject of Figs. 10-11).
 
 Every node runs one :class:`SeqHoleDetector` per flow.  It tracks the
 largest byte seen (``lastByte``) and a list of sequence holes.  Processing

@@ -7,15 +7,28 @@ Usage::
     python -m repro.experiments --scale 1.0 fig16
     python -m repro.experiments --jobs 8        # process-pool fan-out
     python -m repro.experiments --profile fig12 # cProfile dump per experiment
+    python -m repro.experiments fig10 --trace   # packet-level trace + summary
+    python -m repro.experiments fig10 --trace --metrics-out out.jsonl
 
 ``--jobs N`` runs experiments in up to N worker processes.  Each worker
 owns its own Simulator and RngRegistry, so the printed rows are
 bit-identical to a serial run — only the wall-clock changes.
+
+``--trace`` enables the :mod:`repro.obs` layer for each experiment: after
+the result table it prints a human-readable recovery summary (event
+counts, recovery latency, cache efficiency, per-hop rate ladder, and a
+timeline of drops/repairs) and writes the packet-level records to
+``results/obs/<id>_trace.jsonl`` (override with ``--trace-out``; only
+valid for a single experiment).  ``--metrics-out PATH`` additionally
+writes the periodic protocol-state samples as JSONL; it implies
+observation even without ``--trace``.  Observation is read-only, so the
+result tables are bit-identical with or without these flags.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -45,6 +58,19 @@ def main(argv: list[str] | None = None) -> int:
         "--profile", action="store_true",
         help="cProfile each experiment, dumping results/profiles/<id>.pstats",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="enable packet-level tracing + protocol metrics; prints a "
+             "recovery summary and writes results/obs/<id>_trace.jsonl",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="trace JSONL destination (single experiment only; implies --trace)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write periodic protocol-state samples as JSONL (implies observation)",
+    )
     args = parser.parse_args(argv)
 
     names = args.experiments or list(ALL_EXPERIMENTS)
@@ -52,12 +78,16 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
     profile_dir = "results/profiles" if args.profile else None
+    observe = args.trace or args.trace_out is not None or args.metrics_out is not None
+    if args.trace_out is not None and len(names) > 1:
+        parser.error("--trace-out needs exactly one experiment id")
 
     t_start = time.time()
     outcomes = run_experiments(
         names, scale=args.scale, seed=args.seed,
-        jobs=args.jobs, profile_dir=profile_dir,
+        jobs=args.jobs, profile_dir=profile_dir, observe=observe,
     )
+    all_samples: list[dict] = []
     for outcome in outcomes:
         result = ExperimentResult(**outcome.result)
         print(result.table())
@@ -65,6 +95,29 @@ def main(argv: list[str] | None = None) -> int:
         if outcome.profile_path:
             line += f", profile {outcome.profile_path}"
         print(line + ")\n")
+        if observe:
+            from repro.analysis.report import run_summary
+            from repro.obs import dump_jsonl
+
+            records = outcome.trace_records or []
+            samples = outcome.metric_samples or []
+            # Tag rows with their experiment so a merged metrics file
+            # stays attributable.
+            for row in samples:
+                row.setdefault("experiment", outcome.name)
+            all_samples.extend(samples)
+            print(run_summary(records, samples, title=outcome.name))
+            trace_path = args.trace_out
+            if trace_path is None:
+                os.makedirs("results/obs", exist_ok=True)
+                trace_path = os.path.join("results/obs", f"{outcome.name}_trace.jsonl")
+            dump_jsonl(records, trace_path)
+            print(f"trace: {len(records)} records -> {trace_path}\n")
+    if args.metrics_out is not None:
+        from repro.obs import dump_jsonl
+
+        dump_jsonl(all_samples, args.metrics_out)
+        print(f"metrics: {len(all_samples)} samples -> {args.metrics_out}")
     if len(outcomes) > 1:
         print(
             f"total wall {time.time() - t_start:.0f}s for {len(outcomes)} "

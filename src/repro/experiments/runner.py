@@ -30,6 +30,9 @@ class RunOutcome:
     result: dict          # ExperimentResult.to_dict()
     wall_s: float
     profile_path: Optional[str] = None
+    # Populated when observe=True: repro.obs record/sample dicts.
+    trace_records: Optional[list] = None
+    metric_samples: Optional[list] = None
 
 
 def run_one(
@@ -37,36 +40,61 @@ def run_one(
     scale: float,
     seed: int,
     profile_dir: Optional[str] = None,
+    observe: bool = False,
 ) -> RunOutcome:
     """Run one experiment id; the unit of work for serial and pool runs.
 
     Imports lazily so pool workers (``spawn`` start method included) pay
     the import cost once per process, not per task.
+
+    With ``observe=True``, the global tracer and metrics registry are
+    reset and enabled around this experiment alone, and the drained
+    record/sample streams ride back on the outcome.  Resetting *per
+    experiment* (not per process) keeps the streams independent of pool
+    placement, so traced runs stay bit-identical across ``jobs`` values.
     """
     from repro.experiments import ALL_EXPERIMENTS
 
     run = ALL_EXPERIMENTS[name]
     profile_path = None
-    t0 = time.time()
-    if profile_dir is not None:
-        import cProfile
+    trace_records = None
+    metric_samples = None
+    if observe:
+        from repro.obs import METRICS, TRACER
 
-        os.makedirs(profile_dir, exist_ok=True)
-        profile_path = os.path.join(profile_dir, f"{name}.pstats")
-        profiler = cProfile.Profile()
-        profiler.enable()
-        try:
+        TRACER.reset()
+        METRICS.reset()
+        TRACER.enable()
+        METRICS.enable()
+    t0 = time.time()
+    try:
+        if profile_dir is not None:
+            import cProfile
+
+            os.makedirs(profile_dir, exist_ok=True)
+            profile_path = os.path.join(profile_dir, f"{name}.pstats")
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                result = run(scale=scale, seed=seed)
+            finally:
+                profiler.disable()
+                profiler.dump_stats(profile_path)
+        else:
             result = run(scale=scale, seed=seed)
-        finally:
-            profiler.disable()
-            profiler.dump_stats(profile_path)
-    else:
-        result = run(scale=scale, seed=seed)
+    finally:
+        if observe:
+            trace_records = TRACER.drain()
+            metric_samples = METRICS.drain()
+            TRACER.disable()
+            METRICS.disable()
     return RunOutcome(
         name=name,
         result=result.to_dict(),
         wall_s=time.time() - t0,
         profile_path=profile_path,
+        trace_records=trace_records,
+        metric_samples=metric_samples,
     )
 
 
@@ -76,24 +104,26 @@ def run_experiments(
     seed: int,
     jobs: int = 1,
     profile_dir: Optional[str] = None,
+    observe: bool = False,
 ) -> list[RunOutcome]:
     """Run ``names`` and return their outcomes in the requested order.
 
     ``jobs > 1`` fans the experiments out over a process pool.  Output
     order (and content — see the module docstring) is identical to the
-    serial run regardless of completion order.
+    serial run regardless of completion order.  ``observe=True`` enables
+    tracing/metrics per experiment (see :func:`run_one`).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if not names:
         return []
     if jobs == 1 or len(names) == 1:
-        return [run_one(name, scale, seed, profile_dir) for name in names]
+        return [run_one(name, scale, seed, profile_dir, observe) for name in names]
 
     outcomes: dict[str, RunOutcome] = {}
     with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
         futures = {
-            pool.submit(run_one, name, scale, seed, profile_dir): name
+            pool.submit(run_one, name, scale, seed, profile_dir, observe): name
             for name in names
         }
         pending = set(futures)

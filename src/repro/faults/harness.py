@@ -1,5 +1,11 @@
 """One-call chaos runs: topology + fault schedule + invariants + metrics.
 
+This stresses the paper's LEO-churn claims (Sec. II-A's handover and
+outage dynamics; recovery behaviour of Sec. V-C) well beyond the
+figure-level experiments.  When :data:`repro.obs.TRACER` is enabled the
+runs also carry packet-level traces, so a failed invariant can be read
+back as a recovery timeline via :func:`repro.analysis.run_summary`.
+
 These are the entry points the chaos regression suite, the experiment
 matrix, and the examples share.  Each builds a fresh simulator, wires a
 chain, arms the fault schedule, runs to ``duration_s`` (under a wall-clock
@@ -22,6 +28,7 @@ from repro.faults.invariants import (
 from repro.faults.metrics import RecoveryReport, recovery_report
 from repro.faults.schedule import FaultInjector, FaultSchedule
 from repro.netsim.topology import HopSpec, uniform_chain_specs
+from repro.obs import METRICS, TRACER
 from repro.simcore import RngRegistry, Simulator
 from repro.tcp import build_e2e_tcp_path
 
@@ -36,10 +43,29 @@ class ChaosResult:
     fault_log: list[tuple[float, str]] = field(default_factory=list)
     completed: Optional[bool] = None  # None for open-ended flows
     completed_at_s: Optional[float] = None
+    # Snapshots of the obs streams for this run, when tracing/metrics
+    # were enabled before the harness call; None otherwise.
+    trace_records: Optional[list] = None
+    metric_samples: Optional[list] = None
 
     @property
     def invariants_ok(self) -> bool:
         return all(r.ok for r in self.invariants)
+
+    def obs_summary(self, timeline_limit: int = 25) -> Optional[str]:
+        """Human-readable recovery summary, if the run was traced.
+
+        A failed invariant rarely explains itself; the summary shows the
+        drop/VPH/retx/fault interleaving that led up to it.
+        """
+        if self.trace_records is None:
+            return None
+        from repro.analysis.report import run_summary
+
+        return run_summary(
+            self.trace_records, self.metric_samples or (),
+            title=f"chaos:{self.protocol}", timeline_limit=timeline_limit,
+        )
 
     def assert_ok(self) -> None:
         failed = [r for r in self.invariants if not r.ok]
@@ -103,6 +129,9 @@ def run_leotp_chaos(
     injector = FaultInjector(sim, rng)
     injector.register_path(path)
     injector.arm(schedule)
+    # Snapshot (not drain) the obs streams around the run, so callers
+    # batching several chaos runs under one tracer keep the full log.
+    rec_mark, sample_mark = len(TRACER.records), len(METRICS.samples)
     sim.run(until=duration_s, wall_timeout_s=wall_timeout_s)
 
     fault_start, fault_end = _fault_window(schedule)
@@ -126,6 +155,8 @@ def run_leotp_chaos(
         fault_log=list(injector.log),
         completed=path.consumer.finished if total_bytes is not None else None,
         completed_at_s=completion,
+        trace_records=TRACER.records[rec_mark:] if TRACER.enabled else None,
+        metric_samples=METRICS.samples[sample_mark:] if METRICS.enabled else None,
     )
 
 
@@ -157,6 +188,7 @@ def run_tcp_chaos(
     injector = FaultInjector(sim, rng)
     injector.register_path(path)
     injector.arm(schedule)
+    rec_mark, sample_mark = len(TRACER.records), len(METRICS.samples)
     sim.run(until=duration_s, wall_timeout_s=wall_timeout_s)
 
     fault_start, fault_end = _fault_window(schedule)
@@ -171,4 +203,6 @@ def run_tcp_chaos(
         invariants=[],
         recovery=recovery,
         fault_log=list(injector.log),
+        trace_records=TRACER.records[rec_mark:] if TRACER.enabled else None,
+        metric_samples=METRICS.samples[sample_mark:] if METRICS.enabled else None,
     )

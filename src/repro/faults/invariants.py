@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.obs.tracer import TRACER
 from repro.simcore.process import PeriodicProcess
 from repro.simcore.simulator import Simulator
 
@@ -275,6 +276,10 @@ class InvariantMonitor:
     # -- checking -------------------------------------------------------
 
     def _record(self, name: str, detail: str) -> None:
+        if TRACER.enabled:
+            TRACER.emit(
+                self.sim.now, "invariant_violation", name, detail=detail
+            )
         details = self._violations.setdefault(name, [])
         if len(details) < self.MAX_DETAILS_PER_CHECK:
             details.append(f"t={self.sim.now:.3f}: {detail}")

@@ -1,4 +1,5 @@
-"""Correlated packet-loss processes for fault injection.
+"""Correlated packet-loss processes for fault injection (the bursty LEO
+link conditions of Sec. II-A, beyond the Bernoulli loss of Figs. 10-12).
 
 The substrate's built-in loss is Bernoulli: every packet is dropped
 independently with probability ``plr``.  Real LEO links fail differently —

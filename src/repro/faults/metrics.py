@@ -1,4 +1,5 @@
-"""Recovery metrics: how fast and how cleanly a flow survives a fault.
+"""Recovery metrics: how fast and how cleanly a flow survives a fault
+(quantifying the link-switching resilience of Sec. V-C / Figs. 16-17).
 
 Computed from a :class:`~repro.netsim.trace.FlowRecorder`'s delivery
 records plus sender-side counters:

@@ -21,6 +21,7 @@ from typing import Iterable, Iterator, Optional, Union
 from repro.faults.loss import GilbertElliottLoss
 from repro.netsim.link import DuplexLink, Link
 from repro.netsim.node import Node
+from repro.obs.tracer import TRACER
 from repro.simcore.random import RngRegistry
 from repro.simcore.simulator import Simulator
 
@@ -334,6 +335,8 @@ class FaultInjector:
     # -- execution ------------------------------------------------------
 
     def _log(self, message: str) -> None:
+        if TRACER.enabled:
+            TRACER.emit(self.sim.now, "fault", "injector", detail=message)
         self.log.append((self.sim.now, message))
         self.faults_applied += 1
 

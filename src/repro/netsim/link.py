@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.netsim.bandwidth import BandwidthProfile, ConstantBandwidth
 from repro.netsim.packet import Packet
+from repro.obs.tracer import TRACER
 from repro.simcore.simulator import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -50,6 +51,19 @@ class LinkStats:
 
     def mean_queue_bytes(self, elapsed_s: float) -> float:
         return self.queue_byte_seconds / elapsed_s if elapsed_s > 0 else 0.0
+
+
+def _trace_drop(link: "Link", packet: Packet, reason: str) -> None:
+    """Emit one ``link_drop`` trace record (callers guard on TRACER.enabled)."""
+    fields: dict = {"reason": reason, "kind": type(packet).__name__}
+    flow_id = getattr(packet, "flow_id", None)
+    if flow_id is not None:
+        fields["flow"] = flow_id
+    rng = getattr(packet, "range", None)
+    if rng is not None:
+        fields["start"] = rng.start
+        fields["end"] = rng.end
+    TRACER.emit(link.sim.now, "link_drop", link.name, **fields)
 
 
 class Link:
@@ -135,6 +149,8 @@ class Link:
         self.stats.bytes_offered += packet.size_bytes
         if not self.up:
             self.stats.packets_dropped_flush += 1
+            if TRACER.enabled:
+                _trace_drop(self, packet, "down")
             return False
         if self._busy:
             if (
@@ -142,6 +158,8 @@ class Link:
                 and self._queued_bytes + packet.size_bytes > self.queue_bytes
             ):
                 self.stats.packets_dropped_queue += 1
+                if TRACER.enabled:
+                    _trace_drop(self, packet, "queue")
                 return False
             self._account_queue_change()
             self._queue.append(packet)
@@ -161,6 +179,9 @@ class Link:
         self._account_queue_change()
         dropped = len(self._queue)
         self.stats.packets_dropped_flush += dropped
+        if TRACER.enabled:
+            for pkt in self._queue:
+                _trace_drop(self, pkt, "flush")
         self._queue.clear()
         self._queued_bytes = 0
         if drop_inflight:
@@ -214,6 +235,8 @@ class Link:
         )
         if lost:
             self.stats.packets_dropped_loss += 1
+            if TRACER.enabled:
+                _trace_drop(self, packet, "loss")
         else:
             event = self.sim.schedule(self.delay_s, self._deliver, packet)
             self._inflight_events[packet.uid] = event

@@ -1,0 +1,65 @@
+"""Observability: structured packet-level tracing and protocol metrics.
+
+The paper's evaluation (Figs. 10-14, 19) argues from *internal* protocol
+signals — per-hop cwnd, backpressure rate bounds, buffer length BL, RTO
+evolution, cache hit ratio, SHR/VPH counts — not just from endpoint
+throughput.  This package gives the reproduction the same lens:
+
+* :mod:`repro.obs.tracer` — a process-global :class:`EventTracer` that
+  protocol and network components emit packet-level records into
+  (Interest/Data/VPH send/recv/drop, cache hit/miss, SHR triggers, fault
+  transitions, invariant violations), with JSONL export;
+* :mod:`repro.obs.metrics` — a process-global :class:`MetricsRegistry` of
+  periodic samplers (cwnd, rate_bp, BL, RTO, queue estimate, token-bucket
+  level per hop) that :func:`repro.core.flow.build_leotp_path` and
+  :func:`repro.tcp.flows.build_e2e_tcp_path` register automatically while
+  observation is enabled.
+
+Both singletons are **disabled by default** and cost one attribute check
+per hook when off (``if TRACER.enabled: ...`` guards every emit site, so
+the off path allocates nothing).  Samplers are read-only: enabling
+observation never changes protocol behaviour, so traced runs stay
+bit-identical to untraced ones.
+
+Typical use::
+
+    from repro.obs import METRICS, TRACER
+
+    TRACER.enable(); METRICS.enable()
+    ...build and run a simulation...
+    records = TRACER.drain()       # list of schema-valid dicts
+    samples = METRICS.drain()
+    TRACER.disable(); METRICS.disable()
+
+or, from the command line::
+
+    python -m repro.experiments fig10 --trace --metrics-out out.jsonl
+"""
+
+from repro.obs.metrics import (
+    METRICS,
+    MetricsRegistry,
+    attach_leotp_samplers,
+    attach_tcp_samplers,
+)
+from repro.obs.tracer import (
+    RECORD_REQUIRED_KEYS,
+    TRACER,
+    EventTracer,
+    dump_jsonl,
+    load_jsonl,
+    validate_record,
+)
+
+__all__ = [
+    "EventTracer",
+    "METRICS",
+    "MetricsRegistry",
+    "RECORD_REQUIRED_KEYS",
+    "TRACER",
+    "attach_leotp_samplers",
+    "attach_tcp_samplers",
+    "dump_jsonl",
+    "load_jsonl",
+    "validate_record",
+]

@@ -1,4 +1,12 @@
-"""Discrete-event simulation kernel: clock, events, timers, RNG streams."""
+"""Discrete-event simulation kernel: clock, events, timers, RNG streams.
+
+Protocol-agnostic: nothing here knows about LEOTP.  The kernel provides
+the single shared :class:`Simulator` clock all nodes/links run on, cheap
+fire-and-forget scheduling (``schedule_call``), allocation-free periodic
+processes (used by pacing loops, TR scans, and the observability
+samplers of :mod:`repro.obs`), and named deterministic RNG streams that
+make every experiment reproducible from ``(scale, seed)`` alone.
+"""
 
 from repro.simcore.event import Event
 from repro.simcore.process import PeriodicProcess, Timer

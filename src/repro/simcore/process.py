@@ -1,4 +1,12 @@
-"""Periodic and one-shot timer helpers built on the simulator kernel."""
+"""Periodic and one-shot timer helpers built on the simulator kernel.
+
+:class:`PeriodicProcess` is the repo's standard way to run a control loop
+on the simulated clock — pacing ticks, TR deadline scans, invariant
+probes, and the metric samplers of :mod:`repro.obs` all use it.  It
+reschedules through the simulator's fast path (no per-tick ``Event``
+allocation) and invalidates stale ticks with a generation counter, so
+``stop()``/``start()`` cycles cannot double-fire.
+"""
 
 from __future__ import annotations
 

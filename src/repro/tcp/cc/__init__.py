@@ -1,4 +1,12 @@
-"""Congestion-control algorithms for the TCP baseline stack."""
+"""Congestion-control algorithms for the TCP baseline stack.
+
+These provide the comparison protocols of the paper's evaluation
+(Sec. V): Reno/Cubic/Hybla as loss-based references, BBR and a PCC-style
+rate prober as the modern rate-based baselines of Figs. 10-13.  All
+share the :class:`CongestionControl` interface consumed by
+:class:`~repro.tcp.connection.TcpSender`; :func:`make_cc` maps the
+experiment-facing names to instances.
+"""
 
 from typing import Callable
 

@@ -9,6 +9,7 @@ from repro.netsim.link import DuplexLink
 from repro.netsim.node import ChainForwarder, wire_chain_forwarders
 from repro.netsim.topology import HopSpec, build_chain
 from repro.netsim.trace import FlowRecorder
+from repro.obs.metrics import METRICS, attach_tcp_samplers
 from repro.simcore.random import RngRegistry
 from repro.simcore.simulator import Simulator
 from repro.tcp.cc import make_cc
@@ -61,4 +62,7 @@ def build_e2e_tcp_path(
     wire_chain_forwarders(nodes, links)
     sender.out_link = links[0].ab
     receiver.out_link = links[-1].ba
-    return TcpPath(sender, receiver, recorder, links, forwarders)
+    path = TcpPath(sender, receiver, recorder, links, forwarders)
+    if METRICS.enabled:
+        attach_tcp_samplers(sim, path)
+    return path

@@ -1,4 +1,10 @@
-"""TCP segment format for the packet-level baseline stack."""
+"""TCP segment format for the packet-level baseline stack.
+
+Segments model the fields the simulation needs — sequence/ack numbers,
+SACK blocks, and wire-size accounting with TCP/IP header overhead — so
+baseline goodput is charged the same way LEOTP packets are charged
+their header overhead (fair comparison, Sec. V-A setup).
+"""
 
 from __future__ import annotations
 

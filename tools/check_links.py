@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked ``*.md`` file for inline links/images and reference
+definitions, resolves relative targets against the linking file, and
+exits 1 listing any target that does not exist.  External schemes
+(http/https/mailto) and pure in-page anchors (``#section``) are skipped;
+an anchor on a file link (``DESIGN.md#foo``) checks only the file.
+
+    python tools/check_links.py            # whole repo
+    python tools/check_links.py README.md  # specific files
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# Inline [text](target) / ![alt](target) and reference [label]: target lines.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(args: list[str]) -> list[Path]:
+    if args:
+        return [Path(a).resolve() for a in args]
+    out = subprocess.run(
+        ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+         "*.md", "**/*.md"],
+        cwd=ROOT, capture_output=True, text=True, check=True,
+    ).stdout.split()
+    return [ROOT / p for p in out]
+
+
+def check_file(path: Path) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    # Fenced code blocks routinely contain example "links"; drop them.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    problems = []
+    targets = INLINE_LINK.findall(text) + REF_DEF.findall(text)
+    for target in targets:
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        candidate = target.split("#", 1)[0]
+        if not candidate:
+            continue
+        resolved = (path.parent / candidate).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(ROOT)}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    files = markdown_files(sys.argv[1:] if argv is None else argv)
+    problems: list[str] = []
+    for path in sorted(set(files)):
+        problems.extend(check_file(path))
+    for line in problems:
+        print(line, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} markdown file(s): all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
