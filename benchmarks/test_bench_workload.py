@@ -1,0 +1,15 @@
+"""Benchmark: regenerate the many-flow workload experiment at reduced scale."""
+
+from repro.experiments import ALL_EXPERIMENTS
+
+from conftest import BENCH_SCALE, BENCH_SEED, attach_rows
+
+
+def test_bench_workload(benchmark):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["workload"],
+        kwargs={"scale": BENCH_SCALE, "seed": BENCH_SEED},
+        rounds=1, iterations=1,
+    )
+    attach_rows(benchmark, result)
+    assert result.rows

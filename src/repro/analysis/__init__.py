@@ -17,8 +17,15 @@ from repro.analysis.report import (
     recovery_latency_ms,
     recovery_timeline,
     run_summary,
+    workload_summary,
 )
-from repro.analysis.stats import jain_fairness, percentile, summarize
+from repro.analysis.stats import (
+    fct_percentiles,
+    goodput_cdf,
+    jain_fairness,
+    percentile,
+    summarize,
+)
 
 __all__ = [
     "OwdDistribution",
@@ -29,6 +36,8 @@ __all__ = [
     "recovery_timeline",
     "run_summary",
     "end_to_end_plr",
+    "fct_percentiles",
+    "goodput_cdf",
     "hbh_owd_ratio",
     "hbh_throughput_gain",
     "jain_fairness",
@@ -40,4 +49,5 @@ __all__ = [
     "summarize",
     "throughput_e2e",
     "throughput_hbh",
+    "workload_summary",
 ]

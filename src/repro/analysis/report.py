@@ -179,6 +179,66 @@ def _fmt_timeline_entry(rec: dict) -> str:
     return f"  {t}  {rec['event']:<20} {rec['node']}{suffix}"
 
 
+def workload_summary(rows: Sequence[dict], title: str = "workload") -> str:
+    """Human-readable summary of many-flow workload rows.
+
+    ``rows`` are per-protocol dicts in either vocabulary — the raw
+    :meth:`repro.workload.pool.FlowPool.summary` keys (``fct_p50_s``,
+    ``budget_peak_bytes``, ...) or the scaled keys of the ``workload``
+    experiment's result table (``fct_p50_ms``, ``budget_peak_MiB``, ...).
+    Renders the scale-aware story: completions vs. aborts, FCT
+    percentiles, aggregate goodput, windowed fairness, and the memory
+    budget ledger outcome.
+    """
+    lines = [f"-- workload summary: {title} --"]
+    for row in rows:
+        proto = row.get("protocol", "?")
+        peak_conc = row.get("peak_conc", row.get("peak_concurrency", 0))
+        lines.append(
+            f"{proto}: {int(row.get('completed', 0))}/"
+            f"{int(row.get('arrivals', 0))} flows completed, "
+            f"{int(row.get('aborted', 0))} aborted "
+            f"({int(row.get('admission_rejects', 0))} at admission), "
+            f"peak concurrency {int(peak_conc)}"
+        )
+        def _fct_s(key: str) -> float:
+            if f"{key}_ms" in row:
+                return row[f"{key}_ms"] / 1e3
+            return row.get(f"{key}_s", 0.0)
+
+        goodput = (
+            row["goodput_kBs"] * 1e3 if "goodput_kBs" in row
+            else row.get("goodput_mean_bytes_s", 0.0)
+        )
+        lines.append(
+            f"  FCT p50/p90/p99: {_fct_s('fct_p50'):.3f} / "
+            f"{_fct_s('fct_p90'):.3f} / {_fct_s('fct_p99'):.3f} s, "
+            f"mean goodput {_fmt_value(goodput)} B/s"
+        )
+        fairness = (
+            f"  fairness (windowed Jain): mean {row.get('jain_mean', 1.0):.3f}, "
+            f"min {row.get('jain_min', 1.0):.3f}"
+        )
+        if "windows" in row:
+            fairness += f" over {int(row['windows'])} windows"
+        lines.append(fairness)
+        peak_bytes = (
+            row["budget_peak_MiB"] * (1 << 20) if "budget_peak_MiB" in row
+            else row.get("budget_peak_bytes", 0.0)
+        )
+        mem = (
+            f"  memory budget: peak {_fmt_value(peak_bytes)} B, "
+            f"{int(row.get('budget_breaches', 0))} breaches"
+        )
+        evictions = row.get("cache_evictions", row.get("cache_pool_evictions"))
+        if evictions is not None:
+            mem += f", {int(evictions)} pool evictions"
+            if "cache_pool_evicted_bytes" in row:
+                mem += f" ({_fmt_value(row['cache_pool_evicted_bytes'])} B)"
+        lines.append(mem)
+    return "\n".join(lines)
+
+
 def run_summary(
     records: Sequence[dict],
     samples: Sequence[dict] = (),

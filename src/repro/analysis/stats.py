@@ -36,6 +36,41 @@ def percentile(values: Sequence[float], q: float) -> float:
     return float(np.percentile(vals, q))
 
 
+def fct_percentiles(fcts_s: Sequence[float]) -> dict[str, float]:
+    """Flow-completion-time percentiles for many-flow workloads.
+
+    Returns p50/p90/p99 and the mean, in seconds; all zero when the
+    sample is empty (a run where nothing completed still yields a row).
+    """
+    vals = np.asarray(list(fcts_s), dtype=float)
+    if vals.size == 0:
+        return {"fct_p50_s": 0.0, "fct_p90_s": 0.0,
+                "fct_p99_s": 0.0, "fct_mean_s": 0.0}
+    return {
+        "fct_p50_s": float(np.percentile(vals, 50)),
+        "fct_p90_s": float(np.percentile(vals, 90)),
+        "fct_p99_s": float(np.percentile(vals, 99)),
+        "fct_mean_s": float(vals.mean()),
+    }
+
+
+def goodput_cdf(
+    goodputs: Sequence[float], points: int = 101
+) -> list[tuple[float, float]]:
+    """Empirical CDF of per-flow goodput as (value, fraction <= value).
+
+    Evaluated at ``points`` evenly spaced quantiles, so the result has a
+    fixed, plottable size regardless of the number of flows.
+    """
+    vals = np.sort(np.asarray(list(goodputs), dtype=float))
+    if vals.size == 0:
+        return []
+    qs = np.linspace(0.0, 100.0, points)
+    return [
+        (float(np.percentile(vals, q)), float(q / 100.0)) for q in qs
+    ]
+
+
 def summarize(values: Sequence[float]) -> dict[str, float]:
     """Mean / p50 / p95 / p99 / max of a sample, as a plain dict."""
     vals = np.asarray(list(values), dtype=float)

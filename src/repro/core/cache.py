@@ -138,6 +138,32 @@ class BlockCache:
                 return False
         return True
 
+    def evict_one(self) -> int:
+        """Evict the least-recently-used block; returns bytes freed (0 if
+        empty).  Shared-pool budgeting (:mod:`repro.workload.budget`) uses
+        this to reclaim memory across many caches deterministically."""
+        if not self._blocks:
+            return 0
+        _, block = self._blocks.popitem(last=False)
+        freed = block.stored_bytes()
+        self._stored_bytes -= freed
+        self.stats.evictions += 1
+        return freed
+
+    def drop_flow(self, flow_id: str) -> int:
+        """Discard every block of ``flow_id``; returns bytes freed.
+
+        Called on flow retirement: once a flow has completed, its cached
+        blocks can only serve straggler re-requests, so a multi-flow node
+        reclaims them eagerly instead of waiting for LRU pressure.
+        """
+        keys = [key for key in self._blocks if key[0] == flow_id]
+        freed = 0
+        for key in keys:
+            freed += self._blocks.pop(key).stored_bytes()
+        self._stored_bytes -= freed
+        return freed
+
     @staticmethod
     def _compact(block: _Block) -> None:
         """Collapse a block's origin list onto its coverage intervals.
@@ -151,6 +177,4 @@ class BlockCache:
 
     def _evict_if_needed(self) -> None:
         while self._stored_bytes > self.capacity_bytes and self._blocks:
-            _, block = self._blocks.popitem(last=False)
-            self._stored_bytes -= block.stored_bytes()
-            self.stats.evictions += 1
+            self.evict_one()

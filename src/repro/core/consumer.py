@@ -59,6 +59,7 @@ class Consumer(Node):
         start_time: float = 0.0,
         stop_time: Optional[float] = None,
         deliver: Optional["Callable[[int, float], None]"] = None,
+        on_complete: Optional["Callable[[Consumer], None]"] = None,
     ) -> None:
         super().__init__(sim, name)
         self.flow_id = flow_id
@@ -69,6 +70,9 @@ class Consumer(Node):
         # Optional in-order delivery callback (gateways, applications):
         # called with (nbytes, origin_ts) as the contiguous frontier advances.
         self.deliver = deliver
+        # Optional completion callback (flow pools, closed-loop workloads):
+        # called once, with this Consumer, when the last byte arrives.
+        self.on_complete = on_complete
         self._delivered_next = 0
         self.out_link: Optional[Link] = None  # toward the Producer
         self.cc = HopRateController(sim, config, name=f"{name}:cc")
@@ -330,6 +334,8 @@ class Consumer(Node):
                     now, "flow_complete", self.name, flow=self.flow_id,
                     total_bytes=self.total_bytes,
                 )
+            if self.on_complete is not None:
+                self.on_complete(self)
 
     def _on_vph(self, packet: DataPacket) -> None:
         """A hole notification: in-network repair is under way, so push the

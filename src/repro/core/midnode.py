@@ -195,6 +195,22 @@ class Midnode(Node):
         state = self._flows.get(flow_id)
         return state.sender.backlog_bytes if state else 0
 
+    def retire_flow(self, flow_id: str) -> int:
+        """Drop a completed flow's soft state and cached blocks.
+
+        Returns the cache bytes freed.  Flow pools call this when the
+        Consumer finishes so that a long-lived Midnode serving thousands
+        of flows does not accumulate per-flow state; a straggler Interest
+        simply rebuilds the (soft) state from scratch.
+        """
+        state = self._flows.pop(flow_id, None)
+        if state is not None:
+            state.sender.reset()
+        self._upstream_by_flow.pop(flow_id, None)
+        if self.config.enable_cache:
+            return self.cache.drop_flow(flow_id)
+        return 0
+
     def _stamp(self, state: _FlowState, pkt: DataPacket) -> DataPacket:
         if not pkt.is_header:
             state.queued.remove(pkt.range)

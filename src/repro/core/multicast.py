@@ -118,6 +118,20 @@ class MulticastMidnode(Midnode):
             self.fanout_packets += 1
             sender.enqueue(packet, downstream)
 
+    def crash(self) -> None:
+        """Power-cycle: additionally drop the PIT and fan-out senders.
+
+        The inherited crash clears ``_flows`` (whose senders the fan-out
+        senders stamp through) but knows nothing of the multicast state;
+        keeping it would leave PIT entries pointing at pre-crash ranges
+        and senders pacing against stale congestion state.
+        """
+        for sender in self._fanout_senders.values():
+            sender.reset()
+        self._fanout_senders.clear()
+        self._pit.clear()
+        super().crash()
+
     def expire_pit(self) -> int:
         """Drop PIT entries older than the timeout.  Returns count dropped."""
         now = self.sim.now

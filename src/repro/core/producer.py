@@ -108,6 +108,23 @@ class Producer(Node):
         sender = self._senders.get(flow_id)
         return sender.backlog_bytes if sender else 0
 
+    def retire_flow(self, flow_id: str) -> None:
+        """Release every per-flow structure of a completed flow.
+
+        A Producer serving thousands of sequential flows (see
+        :mod:`repro.workload`) would otherwise accumulate a sender, a
+        served-RangeSet, and an origin cache per flow forever.  Stragglers
+        (a TR re-request racing completion) simply rebuild fresh state.
+        """
+        sender = self._senders.pop(flow_id, None)
+        if sender is not None:
+            sender.reset()
+        self._interest_owd.pop(flow_id, None)
+        self._served.pop(flow_id, None)
+        self._origins.pop(flow_id, None)
+        self._queued.pop(flow_id, None)
+        self._suppressors.pop(flow_id, None)
+
     # ------------------------------------------------------------------
 
     def on_receive(self, packet: Packet, link: Link) -> None:

@@ -28,14 +28,18 @@ from repro.experiments import (
     fig19_cpu_overhead,
     related_snoop,
     table2_ablation,
+    workload,
 )
 from repro.experiments.common import (
     ExperimentResult,
     FlowMetrics,
+    PathSpec,
+    build_path,
     run_leotp_chain,
     run_tcp_chain,
     scaled_duration,
 )
+from repro.experiments.runner import RunSpec
 
 ALL_EXPERIMENTS = {
     "fig01": fig01_bandwidth.run,
@@ -59,12 +63,16 @@ ALL_EXPERIMENTS = {
     "chaos": chaos_suite.run,
     "related_snoop": related_snoop.run,
     "constellation_study": constellation_study.run,
+    "workload": workload.run,
 }
 
 __all__ = [
     "ALL_EXPERIMENTS",
     "ExperimentResult",
     "FlowMetrics",
+    "PathSpec",
+    "RunSpec",
+    "build_path",
     "run_leotp_chain",
     "run_tcp_chain",
     "scaled_duration",

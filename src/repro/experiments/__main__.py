@@ -34,7 +34,7 @@ import time
 
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.common import ExperimentResult
-from repro.experiments.runner import run_experiments
+from repro.experiments.runner import RunSpec, run_experiments
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -71,6 +71,11 @@ def main(argv: list[str] | None = None) -> int:
         "--metrics-out", metavar="PATH", default=None,
         help="write periodic protocol-state samples as JSONL (implies observation)",
     )
+    parser.add_argument(
+        "--sampler-interval", type=float, default=None, metavar="SECONDS",
+        help="metrics sampler cadence for observed runs (default: the "
+             "experiment's SAMPLER_INTERVAL_S, else 0.05)",
+    )
     args = parser.parse_args(argv)
 
     names = args.experiments or list(ALL_EXPERIMENTS)
@@ -82,15 +87,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.trace_out is not None and len(names) > 1:
         parser.error("--trace-out needs exactly one experiment id")
 
-    t_start = time.time()
-    outcomes = run_experiments(
-        names, scale=args.scale, seed=args.seed,
-        jobs=args.jobs, profile_dir=profile_dir, observe=observe,
+    spec = RunSpec(
+        scale=args.scale, seed=args.seed, observe=observe,
+        profile_dir=profile_dir, sampler_interval_s=args.sampler_interval,
     )
+    t_start = time.time()
+    outcomes = run_experiments(names, spec, jobs=args.jobs)
     all_samples: list[dict] = []
     for outcome in outcomes:
         result = ExperimentResult(**outcome.result)
         print(result.table())
+        if outcome.name == "workload":
+            from repro.analysis.report import workload_summary
+
+            print(workload_summary(result.rows))
         line = f"(wall {outcome.wall_s:.0f}s, scale {args.scale}"
         if outcome.profile_path:
             line += f", profile {outcome.profile_path}"

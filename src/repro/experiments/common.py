@@ -9,17 +9,168 @@ use ``scale=1.0``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core import LeotpConfig, LeotpPath, build_leotp_path
+from repro.core import LeotpConfig, LeotpPath
+from repro.core import build_leotp_path as _build_leotp_path
 from repro.netsim.topology import HopSpec
 from repro.netsim.trace import FlowRecorder
 from repro.simcore import RngRegistry, Simulator
-from repro.tcp import FiniteStream, TcpPath, build_e2e_tcp_path, build_split_tcp_path
+from repro.tcp import FiniteStream, SplitTcpPath, TcpPath
+from repro.tcp import build_e2e_tcp_path as _build_e2e_tcp_path
+from repro.tcp import build_split_tcp_path as _build_split_tcp_path
+from repro.tcp.connection import ByteStream
+from repro.tcp.segment import DEFAULT_MSS
 
 BASELINE_CCS = ("cubic", "hybla", "westwood", "vegas", "bbr", "pcc")
+
+#: Protocols :func:`build_path` can wire.
+PATH_PROTOCOLS = ("leotp", "tcp", "split_tcp")
+
+
+@dataclass(frozen=True, kw_only=True)
+class PathSpec:
+    """Declarative description of one transfer path over a chain.
+
+    One spec type covers every protocol the experiments compare; fields
+    irrelevant to the selected ``protocol`` are ignored by
+    :func:`build_path`:
+
+    * ``protocol="leotp"`` uses ``config``/``coverage``;
+    * ``protocol="tcp"`` (end-to-end) and ``"split_tcp"`` use
+      ``cc_name``/``mss``;
+    * ``stop_time`` is honoured by leotp and tcp (split proxies have no
+      per-connection stop).
+
+    All fields are keyword-only: call sites stay readable and reorderable.
+    """
+
+    protocol: str = "leotp"
+    hops: tuple[HopSpec, ...] = ()
+    cc_name: str = "cubic"
+    config: Optional[LeotpConfig] = None
+    coverage: float = 1.0
+    total_bytes: Optional[int] = None
+    flow_id: Optional[str] = None
+    start_time: float = 0.0
+    stop_time: Optional[float] = None
+    mss: int = DEFAULT_MSS
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PATH_PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; "
+                f"choose from {PATH_PROTOCOLS}"
+            )
+        if len(self.hops) < 1:
+            raise ValueError("need at least one hop")
+
+
+BuiltPath = Union[LeotpPath, TcpPath, SplitTcpPath]
+
+
+def build_path(
+    sim: Simulator,
+    rng: RngRegistry,
+    spec: PathSpec,
+    *,
+    stream: Optional[ByteStream] = None,
+    recorder: Optional[FlowRecorder] = None,
+) -> BuiltPath:
+    """Build one transfer path from a declarative :class:`PathSpec`.
+
+    The single facade over :func:`repro.core.build_leotp_path`,
+    :func:`repro.tcp.build_e2e_tcp_path`, and
+    :func:`repro.tcp.build_split_tcp_path` — experiments describe *what*
+    to build and this function dispatches to the protocol's wiring.
+
+    ``stream`` (TCP source) and ``recorder`` (split-path measurement
+    hook) are runtime objects rather than configuration, so they stay
+    out of the frozen spec.  For TCP, ``spec.total_bytes`` is a
+    convenience that builds a ``FiniteStream`` when ``stream`` is None.
+    """
+    hops = list(spec.hops)
+    if spec.protocol == "leotp":
+        return _build_leotp_path(
+            sim, rng, hops,
+            config=spec.config if spec.config is not None else LeotpConfig(),
+            total_bytes=spec.total_bytes,
+            coverage=spec.coverage,
+            flow_id=spec.flow_id if spec.flow_id is not None else "leotp",
+            start_time=spec.start_time,
+            stop_time=spec.stop_time,
+        )
+    if stream is None and spec.total_bytes is not None:
+        stream = FiniteStream(spec.total_bytes)
+    if spec.protocol == "tcp":
+        return _build_e2e_tcp_path(
+            sim, rng, hops, spec.cc_name,
+            stream=stream, mss=spec.mss,
+            flow_base=spec.flow_id if spec.flow_id is not None else "tcp",
+            start_time=spec.start_time,
+            stop_time=spec.stop_time,
+        )
+    return _build_split_tcp_path(
+        sim, rng, hops, spec.cc_name,
+        stream=stream, recorder=recorder, mss=spec.mss,
+        flow_base=spec.flow_id if spec.flow_id is not None else "split",
+    )
+
+
+def build_leotp_path(
+    sim: Simulator,
+    rng: RngRegistry,
+    hops: Sequence[HopSpec],
+    config: Optional[LeotpConfig] = None,
+    total_bytes: Optional[int] = None,
+    coverage: float = 1.0,
+    flow_id: str = "leotp",
+    start_time: float = 0.0,
+    stop_time: Optional[float] = None,
+) -> LeotpPath:
+    """Thin wrapper over :func:`build_path` (kept for existing call sites)."""
+    return build_path(sim, rng, PathSpec(
+        protocol="leotp", hops=tuple(hops), config=config,
+        total_bytes=total_bytes, coverage=coverage, flow_id=flow_id,
+        start_time=start_time, stop_time=stop_time,
+    ))
+
+
+def build_e2e_tcp_path(
+    sim: Simulator,
+    rng: RngRegistry,
+    hops: Sequence[HopSpec],
+    cc_name: str,
+    stream: Optional[ByteStream] = None,
+    mss: int = DEFAULT_MSS,
+    flow_base: str = "tcp",
+    start_time: float = 0.0,
+    stop_time: Optional[float] = None,
+) -> TcpPath:
+    """Thin wrapper over :func:`build_path` (kept for existing call sites)."""
+    return build_path(sim, rng, PathSpec(
+        protocol="tcp", hops=tuple(hops), cc_name=cc_name, mss=mss,
+        flow_id=flow_base, start_time=start_time, stop_time=stop_time,
+    ), stream=stream)
+
+
+def build_split_tcp_path(
+    sim: Simulator,
+    rng: RngRegistry,
+    hops: Sequence[HopSpec],
+    cc_name: str,
+    stream: Optional[ByteStream] = None,
+    recorder: Optional[FlowRecorder] = None,
+    mss: int = DEFAULT_MSS,
+    flow_base: str = "split",
+) -> SplitTcpPath:
+    """Thin wrapper over :func:`build_path` (kept for existing call sites)."""
+    return build_path(sim, rng, PathSpec(
+        protocol="split_tcp", hops=tuple(hops), cc_name=cc_name, mss=mss,
+        flow_id=flow_base,
+    ), stream=stream, recorder=recorder)
 
 
 @dataclass
@@ -162,15 +313,16 @@ def run_tcp_chain(
     """Run one TCP flow (end-to-end or Split) over a chain and measure it."""
     sim = Simulator()
     rng = RngRegistry(seed)
-    stream = FiniteStream(total_bytes) if total_bytes else None
+    spec = PathSpec(
+        protocol="split_tcp" if split else "tcp",
+        hops=tuple(hops), cc_name=cc_name, total_bytes=total_bytes,
+    )
     if split:
         recorder = FlowRecorder(sim, name=f"split:{cc_name}")
-        path = build_split_tcp_path(
-            sim, rng, list(hops), cc_name, stream=stream, recorder=recorder
-        )
+        path = build_path(sim, rng, spec, recorder=recorder)
         sender = path.sender
     else:
-        built = build_e2e_tcp_path(sim, rng, list(hops), cc_name, stream=stream)
+        built = build_path(sim, rng, spec)
         recorder, sender, path = built.recorder, built.sender, built
     sim.run(until=duration_s)
     warmup = duration_s * warmup_fraction
@@ -194,11 +346,10 @@ def run_leotp_chain(
     """Run one LEOTP flow over a chain and measure it."""
     sim = Simulator()
     rng = RngRegistry(seed)
-    path = build_leotp_path(
-        sim, rng, list(hops),
-        config=config or LeotpConfig(),
+    path = build_path(sim, rng, PathSpec(
+        protocol="leotp", hops=tuple(hops), config=config,
         coverage=coverage, total_bytes=total_bytes,
-    )
+    ))
     sim.run(until=duration_s)
     warmup = duration_s * warmup_fraction
     metrics = metrics_from_recorder(

@@ -3,6 +3,9 @@
 ``run_experiments`` is the single entry point behind
 ``python -m repro.experiments``: it runs a list of experiment ids either
 in-process (``jobs=1``) or fanned out over a process pool (``jobs>1``).
+How each experiment runs is described by one :class:`RunSpec` — scale,
+seed, observation, profiling, and the sampler-cadence override — shared
+by every id in the batch.
 
 Determinism guarantee: every experiment constructs its own
 :class:`~repro.simcore.Simulator` and :class:`~repro.simcore.RngRegistry`
@@ -16,10 +19,38 @@ asserts the bit-identity per experiment id.
 from __future__ import annotations
 
 import os
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """How to run experiments: everything except *which* experiment.
+
+    Replaces the loose ``(scale, seed, profile_dir, observe)`` argument
+    tuple: one picklable value carries the run configuration through the
+    CLI, the pool workers, and programmatic sweeps.
+
+    ``sampler_interval_s`` overrides the metrics sampler cadence for
+    observed runs; when None, an experiment module may provide its own
+    default via a module-level ``SAMPLER_INTERVAL_S``, falling back to
+    :data:`repro.obs.metrics.DEFAULT_INTERVAL_S` (50 ms).
+    """
+
+    scale: float = 1.0
+    seed: int = 0
+    observe: bool = False
+    profile_dir: Optional[str] = None
+    sampler_interval_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.sampler_interval_s is not None and self.sampler_interval_s <= 0:
+            raise ValueError("sampler_interval_s must be positive")
 
 
 @dataclass
@@ -35,19 +66,24 @@ class RunOutcome:
     metric_samples: Optional[list] = None
 
 
-def run_one(
-    name: str,
-    scale: float,
-    seed: int,
-    profile_dir: Optional[str] = None,
-    observe: bool = False,
-) -> RunOutcome:
+def _sampler_interval_for(run, spec: RunSpec) -> float:
+    """Resolve the sampler cadence: spec override > module default > global."""
+    from repro.obs.metrics import DEFAULT_INTERVAL_S
+
+    if spec.sampler_interval_s is not None:
+        return spec.sampler_interval_s
+    module = sys.modules.get(getattr(run, "__module__", ""))
+    interval = getattr(module, "SAMPLER_INTERVAL_S", None)
+    return interval if interval is not None else DEFAULT_INTERVAL_S
+
+
+def run_one(name: str, spec: RunSpec = RunSpec()) -> RunOutcome:
     """Run one experiment id; the unit of work for serial and pool runs.
 
     Imports lazily so pool workers (``spawn`` start method included) pay
     the import cost once per process, not per task.
 
-    With ``observe=True``, the global tracer and metrics registry are
+    With ``spec.observe``, the global tracer and metrics registry are
     reset and enabled around this experiment alone, and the drained
     record/sample streams ride back on the outcome.  Resetting *per
     experiment* (not per process) keeps the streams independent of pool
@@ -59,35 +95,39 @@ def run_one(
     profile_path = None
     trace_records = None
     metric_samples = None
-    if observe:
+    saved_interval = None
+    if spec.observe:
         from repro.obs import METRICS, TRACER
 
         TRACER.reset()
         METRICS.reset()
         TRACER.enable()
         METRICS.enable()
+        saved_interval = METRICS.interval_s
+        METRICS.interval_s = _sampler_interval_for(run, spec)
     t0 = time.time()
     try:
-        if profile_dir is not None:
+        if spec.profile_dir is not None:
             import cProfile
 
-            os.makedirs(profile_dir, exist_ok=True)
-            profile_path = os.path.join(profile_dir, f"{name}.pstats")
+            os.makedirs(spec.profile_dir, exist_ok=True)
+            profile_path = os.path.join(spec.profile_dir, f"{name}.pstats")
             profiler = cProfile.Profile()
             profiler.enable()
             try:
-                result = run(scale=scale, seed=seed)
+                result = run(scale=spec.scale, seed=spec.seed)
             finally:
                 profiler.disable()
                 profiler.dump_stats(profile_path)
         else:
-            result = run(scale=scale, seed=seed)
+            result = run(scale=spec.scale, seed=spec.seed)
     finally:
-        if observe:
+        if spec.observe:
             trace_records = TRACER.drain()
             metric_samples = METRICS.drain()
             TRACER.disable()
             METRICS.disable()
+            METRICS.interval_s = saved_interval
     return RunOutcome(
         name=name,
         result=result.to_dict(),
@@ -100,31 +140,28 @@ def run_one(
 
 def run_experiments(
     names: Sequence[str],
-    scale: float,
-    seed: int,
+    spec: RunSpec = RunSpec(),
     jobs: int = 1,
-    profile_dir: Optional[str] = None,
-    observe: bool = False,
 ) -> list[RunOutcome]:
-    """Run ``names`` and return their outcomes in the requested order.
+    """Run ``names`` under ``spec``; outcomes come back in request order.
 
-    ``jobs > 1`` fans the experiments out over a process pool.  Output
-    order (and content — see the module docstring) is identical to the
-    serial run regardless of completion order.  ``observe=True`` enables
-    tracing/metrics per experiment (see :func:`run_one`).
+    ``jobs > 1`` fans the experiments out over a process pool — even for
+    a single id, so a one-experiment ``--jobs 2`` run genuinely exercises
+    the pool path (the bit-identity checks rely on that).  Output order
+    (and content — see the module docstring) is identical to the serial
+    run regardless of completion order.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if not names:
         return []
-    if jobs == 1 or len(names) == 1:
-        return [run_one(name, scale, seed, profile_dir, observe) for name in names]
+    if jobs == 1:
+        return [run_one(name, spec) for name in names]
 
     outcomes: dict[str, RunOutcome] = {}
     with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
         futures = {
-            pool.submit(run_one, name, scale, seed, profile_dir, observe): name
-            for name in names
+            pool.submit(run_one, name, spec): name for name in names
         }
         pending = set(futures)
         while pending:

@@ -16,7 +16,7 @@ reports, the recovery metrics, and the injector's action log.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.core import LeotpConfig, build_leotp_path
 from repro.faults.invariants import (
@@ -47,6 +47,9 @@ class ChaosResult:
     # were enabled before the harness call; None otherwise.
     trace_records: Optional[list] = None
     metric_samples: Optional[list] = None
+    # The built topology, for post-run inspection (e.g. a multicast
+    # builder's extra consumers).  Not serialised by to_dict().
+    path: Optional[Any] = field(default=None, repr=False)
 
     @property
     def invariants_ok(self) -> bool:
@@ -113,18 +116,33 @@ def run_leotp_chaos(
     recovery_fraction: float = 0.8,
     limits: InvariantLimits = InvariantLimits(),
     wall_timeout_s: Optional[float] = 120.0,
+    builder: Optional[Callable[[Simulator, RngRegistry], Any]] = None,
 ) -> ChaosResult:
-    """Run one LEOTP flow over a faulted chain, with invariants armed."""
+    """Run one LEOTP flow over a faulted chain, with invariants armed.
+
+    ``builder`` swaps the default linear chain for any LEOTP topology
+    (gateway bridge, multicast tree, ...): called as ``builder(sim, rng)``
+    it must return a path object exposing ``consumer``, ``producer``,
+    ``recorder``, and (for link targeting) ``links``; the chain-shape
+    arguments (``hops``/``n_hops``/``total_bytes``/``coverage``/...) are
+    ignored when a builder is given.
+    """
     sim = Simulator()
     rng = RngRegistry(seed)
-    if hops is None:
-        hops = uniform_chain_specs(n_hops, rate_bps=rate_bps, delay_s=delay_s, plr=plr)
-    path = build_leotp_path(
-        sim, rng, list(hops),
-        config=config or LeotpConfig(),
-        total_bytes=total_bytes,
-        coverage=coverage,
-    )
+    if builder is not None:
+        path = builder(sim, rng)
+        total_bytes = path.consumer.total_bytes
+    else:
+        if hops is None:
+            hops = uniform_chain_specs(
+                n_hops, rate_bps=rate_bps, delay_s=delay_s, plr=plr
+            )
+        path = build_leotp_path(
+            sim, rng, list(hops),
+            config=config or LeotpConfig(),
+            total_bytes=total_bytes,
+            coverage=coverage,
+        )
     monitor = InvariantMonitor(sim, path, limits=limits)
     injector = FaultInjector(sim, rng)
     injector.register_path(path)
@@ -157,6 +175,7 @@ def run_leotp_chaos(
         completed_at_s=completion,
         trace_records=TRACER.records[rec_mark:] if TRACER.enabled else None,
         metric_samples=METRICS.samples[sample_mark:] if METRICS.enabled else None,
+        path=path,
     )
 
 
@@ -205,4 +224,5 @@ def run_tcp_chaos(
         fault_log=list(injector.log),
         trace_records=TRACER.records[rec_mark:] if TRACER.enabled else None,
         metric_samples=METRICS.samples[sample_mark:] if METRICS.enabled else None,
+        path=path,
     )

@@ -295,6 +295,10 @@ class FaultInjector:
             self.register_node(node.name, node)
         for node in getattr(path, "forwarders", []) or []:
             self.register_node(node.name, node)
+        for node in getattr(path, "satellites", []) or []:
+            self.register_node(node.name, node)
+        for node in getattr(path, "consumers", []) or []:
+            self.register_node(node.name, node)
 
     def _resolve_links(self, name: str) -> list[Link]:
         links = self._links.get(name)

@@ -20,7 +20,7 @@ known transfer size (a real gateway would use a FIN-equivalent frame).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.core.config import LeotpConfig
@@ -121,6 +121,26 @@ class GatewayPath:
     egress: EgressGateway
     client: TcpReceiver
     recorder: FlowRecorder
+    # LEO-segment duplex links, ingress-side first.  Exposing them (plus
+    # the consumer/producer/midnodes views below) makes the bridged path
+    # a drop-in target for the chaos harness: FaultInjector.register_path
+    # names them hop0..hopN and the InvariantMonitor watches the LEOTP
+    # segment exactly as it would a plain chain.
+    links: list[DuplexLink] = field(default_factory=list)
+
+    @property
+    def consumer(self) -> Consumer:
+        """The LEOTP Consumer pulling the flow (lives in the egress GW)."""
+        return self.egress.consumer
+
+    @property
+    def producer(self) -> StreamingProducer:
+        """The LEOTP Producer serving the flow (lives in the ingress GW)."""
+        return self.ingress.producer
+
+    @property
+    def midnodes(self) -> list[Midnode]:
+        return [s for s in self.satellites if isinstance(s, Midnode)]
 
     @property
     def completed(self) -> bool:
@@ -187,4 +207,5 @@ def build_gateway_path(
     for i, sat in enumerate(satellites):
         if isinstance(sat, Midnode):
             sat.set_upstream(leo_links[i].ba)
-    return GatewayPath(server, ingress, satellites, egress, client, recorder)
+    return GatewayPath(server, ingress, satellites, egress, client, recorder,
+                       links=leo_links)

@@ -80,6 +80,10 @@ class Router(Node):
     def route_for(self, dst_name: str) -> Optional[Link]:
         return self._routes.get(dst_name)
 
+    def remove_route(self, dst_name: str) -> None:
+        """Withdraw a route (flow retirement in many-flow workloads)."""
+        self._routes.pop(dst_name, None)
+
     def on_receive(self, packet: Packet, link: Link) -> None:
         out = self._routes.get(packet.dst or "")
         if out is None:

@@ -52,13 +52,17 @@ class EventTracer:
     counted in :attr:`dropped_records` rather than silently ignored.
     """
 
-    __slots__ = ("enabled", "records", "max_records", "dropped_records")
+    __slots__ = ("enabled", "records", "max_records", "dropped_records",
+                 "flushed_records", "_stream_fh")
 
     def __init__(self, max_records: int = 2_000_000) -> None:
         self.enabled = False
         self.records: list[dict] = []
         self.max_records = max_records
         self.dropped_records = 0
+        # Streaming export (set_stream): records flushed to disk so far.
+        self.flushed_records = 0
+        self._stream_fh: Optional[IO[str]] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -71,9 +75,11 @@ class EventTracer:
         self.enabled = False
 
     def reset(self) -> None:
-        """Discard all buffered records (does not change ``enabled``)."""
+        """Discard all buffered records (does not change ``enabled`` or an
+        attached stream — a stream outlives per-run resets by design)."""
         self.records.clear()
         self.dropped_records = 0
+        self.flushed_records = 0
 
     def drain(self) -> list[dict]:
         """Return the buffered records and clear the buffer."""
@@ -83,14 +89,61 @@ class EventTracer:
         return out
 
     # ------------------------------------------------------------------
+    # Streaming JSONL export
+    # ------------------------------------------------------------------
+
+    @property
+    def streaming(self) -> bool:
+        return self._stream_fh is not None
+
+    def set_stream(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        """Stream to ``path``: on buffer overflow, flush to disk instead
+        of dropping.
+
+        With a stream attached, reaching ``max_records`` appends the
+        whole buffer to the file and clears it (counted in
+        :attr:`flushed_records`), so long runs keep every record at a
+        bounded memory footprint.  The file is truncated now and closed
+        by :meth:`close_stream`; records still buffered at close time are
+        flushed then, keeping file order equal to emission order.
+        """
+        self.close_stream()
+        self._stream_fh = open(path, "w")
+
+    def flush_stream(self) -> int:
+        """Force-append the current buffer to the stream; returns count."""
+        if self._stream_fh is None:
+            return 0
+        n = dump_jsonl(self.records, self._stream_fh)
+        self._stream_fh.flush()
+        self.records.clear()
+        self.flushed_records += n
+        return n
+
+    def close_stream(self) -> int:
+        """Flush remaining records and close the stream file (idempotent).
+
+        Returns the total number of records written to the file.
+        """
+        if self._stream_fh is None:
+            return 0
+        self.flush_stream()
+        self._stream_fh.close()
+        self._stream_fh = None
+        return self.flushed_records
+
+    # ------------------------------------------------------------------
     # Emission (hot path when enabled; never called when disabled)
     # ------------------------------------------------------------------
 
     def emit(self, t: float, event: str, node: str, **fields) -> None:
         """Append one record.  Callers must guard with ``if TRACER.enabled``."""
         if len(self.records) >= self.max_records:
-            self.dropped_records += 1
-            return
+            if self._stream_fh is not None:
+                self.flush_stream()
+            else:
+                self.dropped_records += 1
+                return
         rec = {"t": t, "event": event, "node": node}
         if fields:
             rec.update(fields)

@@ -9,7 +9,7 @@ make every experiment reproducible from ``(scale, seed)`` alone.
 """
 
 from repro.simcore.event import Event
-from repro.simcore.process import PeriodicProcess, Timer
+from repro.simcore.process import PeriodicProcess, TimelineProcess, Timer
 from repro.simcore.random import RngRegistry
 from repro.simcore.simulator import SimulationError, Simulator
 
@@ -19,5 +19,6 @@ __all__ = [
     "RngRegistry",
     "SimulationError",
     "Simulator",
+    "TimelineProcess",
     "Timer",
 ]

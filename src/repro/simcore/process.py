@@ -10,7 +10,7 @@ allocation) and invalidates stale ticks with a generation counter, so
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from repro.simcore.event import Event
 from repro.simcore.simulator import Simulator
@@ -102,3 +102,71 @@ class PeriodicProcess:
         self._callback()
         if not self._stopped:
             self._sim.schedule_call(self.interval, self._tick, self._gen)
+
+
+class TimelineProcess:
+    """Fires ``callback(payload)`` at each entry of a sorted timeline.
+
+    The workload generators of :mod:`repro.workload` pre-compute thousands
+    of flow arrival times; scheduling them all up front would allocate one
+    heap entry per arrival at t=0.  A TimelineProcess instead keeps exactly
+    one pending tick at a time — it walks the ``(time, payload)`` entries
+    in order, firing every entry due at the current tick through the
+    kernel's fire-and-forget path, then sleeps until the next one.
+
+    Entries must be sorted by time (ascending) and non-negative; same-time
+    entries fire in list order inside one tick.  Like
+    :class:`PeriodicProcess`, ``stop()`` invalidates the pending tick by
+    generation number.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        entries: Sequence[tuple[float, Any]],
+        callback: Callable[[Any], None],
+    ) -> None:
+        self._sim = sim
+        self._entries = list(entries)
+        for i in range(1, len(self._entries)):
+            if self._entries[i][0] < self._entries[i - 1][0]:
+                raise ValueError("timeline entries must be sorted by time")
+        if self._entries and self._entries[0][0] < 0:
+            raise ValueError("timeline entries must be non-negative in time")
+        self._callback = callback
+        self._next = 0
+        self._stopped = False
+        self._gen = 0
+        if self._entries:
+            sim.schedule_call(
+                max(self._entries[0][0] - sim.now, 0.0), self._tick, 0
+            )
+
+    @property
+    def remaining(self) -> int:
+        """Entries not yet fired."""
+        return len(self._entries) - self._next
+
+    @property
+    def finished(self) -> bool:
+        return self._next >= len(self._entries)
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._gen += 1
+
+    def _tick(self, gen: int) -> None:
+        if self._stopped or gen != self._gen:
+            return
+        now = self._sim.now
+        entries = self._entries
+        while self._next < len(entries) and entries[self._next][0] <= now:
+            _, payload = entries[self._next]
+            self._next += 1
+            self._callback(payload)
+            if self._stopped:
+                return
+        if self._next < len(entries):
+            self._sim.schedule_call(
+                entries[self._next][0] - now, self._tick, self._gen
+            )

@@ -1,0 +1,163 @@
+"""Per-run memory budgeting: accounted ledgers and shared cache pools.
+
+A single LEOTP flow owns its Midnode caches outright, but a pool of
+hundreds of flows multiplexed over one chain must share them.  This
+module provides the two pieces the :class:`~repro.workload.pool.FlowPool`
+uses to keep a whole run under one configured byte ceiling:
+
+* :class:`MemoryBudget` — a named-account ledger (``cache``, ``flows``,
+  ...) with peak tracking and breach counting, so experiments can
+  *assert* that a run stayed within budget instead of hoping;
+* :class:`SharedCachePool` — a group of :class:`PooledBlockCache`
+  members (one per Midnode) whose *combined* occupancy is enforced:
+  when the pool exceeds its capacity, blocks are evicted LRU-style from
+  the fullest member.  Eviction order is deterministic (ties broken by
+  registration index), preserving bit-identical runs.
+
+The ledger models *protocol* memory — cached payload and per-flow soft
+state — not Python object overhead; it corresponds to the RAM a real
+Midnode deployment would provision.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.cache import BlockCache
+
+
+class MemoryBudget:
+    """Named-account byte ledger with a hard ceiling.
+
+    Accounts are set absolutely (:meth:`set_account`) or adjusted
+    incrementally (:meth:`charge`).  ``peak_bytes`` records the high-water
+    total; ``breaches`` counts updates that left the total above the
+    ceiling (a correctly enforced pool never breaches).
+    """
+
+    def __init__(self, ceiling_bytes: int) -> None:
+        if ceiling_bytes <= 0:
+            raise ValueError("ceiling must be positive")
+        self.ceiling_bytes = ceiling_bytes
+        self._accounts: dict[str, int] = {}
+        self._total = 0
+        self.peak_bytes = 0
+        self.breaches = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total
+
+    @property
+    def headroom_bytes(self) -> int:
+        return self.ceiling_bytes - self._total
+
+    def account(self, name: str) -> int:
+        return self._accounts.get(name, 0)
+
+    def accounts(self) -> dict[str, int]:
+        """Snapshot of every account (copy; safe to mutate)."""
+        return dict(self._accounts)
+
+    def set_account(self, name: str, nbytes: int) -> None:
+        """Set an account to an absolute value."""
+        if nbytes < 0:
+            raise ValueError(f"account {name!r} cannot go negative")
+        self._total += nbytes - self._accounts.get(name, 0)
+        self._accounts[name] = nbytes
+        if self._total > self.peak_bytes:
+            self.peak_bytes = self._total
+        if self._total > self.ceiling_bytes:
+            self.breaches += 1
+
+    def charge(self, name: str, delta: int) -> None:
+        """Adjust an account by a (possibly negative) delta."""
+        self.set_account(name, self._accounts.get(name, 0) + delta)
+
+
+class PooledBlockCache(BlockCache):
+    """A :class:`BlockCache` that reports occupancy changes to its pool.
+
+    The member's own capacity equals the pool capacity, so individual
+    LRU eviction never fires before the pool-wide policy does — the pool
+    is the sole arbiter of what gets evicted.
+    """
+
+    def __init__(self, pool: "SharedCachePool", index: int) -> None:
+        super().__init__(pool.capacity_bytes, pool.block_bytes)
+        self._pool = pool
+        self.pool_index = index
+
+    def store(self, flow_id, rng, origin_ts) -> None:
+        super().store(flow_id, rng, origin_ts)
+        self._pool.on_change()
+
+    def drop_flow(self, flow_id: str) -> int:
+        freed = super().drop_flow(flow_id)
+        if freed:
+            self._pool.on_change()
+        return freed
+
+
+class SharedCachePool:
+    """Enforces one byte capacity across many member block caches.
+
+    Midnodes keep their per-node :class:`BlockCache` interface; the pool
+    only replaces the *policy*: after any member stores data, the pool
+    evicts LRU blocks from whichever member currently holds the most
+    bytes until the combined occupancy fits.  Evicting from the fullest
+    member approximates global LRU without a shared recency list and
+    keeps hot small members intact.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        block_bytes: int = 4096,
+        budget: Optional[MemoryBudget] = None,
+        account: str = "cache",
+    ) -> None:
+        if capacity_bytes <= 0 or block_bytes <= 0:
+            raise ValueError("capacity and block size must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.block_bytes = block_bytes
+        self.budget = budget
+        self.account = account
+        self._members: list[PooledBlockCache] = []
+        # Telemetry: evictions forced by the *pool* policy (members' own
+        # stats.evictions include these; the pool counters isolate them).
+        self.pool_evictions = 0
+        self.pool_evicted_bytes = 0
+
+    def member(self) -> PooledBlockCache:
+        """Create and register a new member cache."""
+        cache = PooledBlockCache(self, len(self._members))
+        self._members.append(cache)
+        return cache
+
+    @property
+    def members(self) -> list[PooledBlockCache]:
+        return list(self._members)
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(m.stored_bytes for m in self._members)
+
+    def on_change(self) -> None:
+        """Re-enforce capacity after a member's occupancy changed."""
+        self._enforce()
+        if self.budget is not None:
+            self.budget.set_account(self.account, self.stored_bytes)
+
+    def _enforce(self) -> None:
+        total = self.stored_bytes
+        while total > self.capacity_bytes:
+            # Deterministic victim choice: the fullest member, ties broken
+            # by registration order (stable across runs and job counts).
+            victim = max(self._members, key=lambda m: (m.stored_bytes, -m.pool_index))
+            freed = victim.evict_one()
+            if freed == 0:
+                break  # nothing evictable left (all members empty)
+            self.pool_evictions += 1
+            self.pool_evicted_bytes += freed
+            total -= freed

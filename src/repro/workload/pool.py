@@ -1,0 +1,389 @@
+"""FlowPool: hundreds-to-thousands of flows multiplexed over one chain.
+
+Single-flow experiments build one path per flow, each with its own
+links and intermediate nodes.  A :class:`FlowPool` instead shares the
+chain — one Producer and one row of Midnodes (LEOTP) or Routers (TCP
+baselines) carry every flow — and manages per-flow lifecycle around it:
+
+* **spawn** — a Consumer (or TCP endpoint pair) is created at the flow's
+  arrival time and attached to the shared hub through its own access
+  link, subject to memory-budget admission;
+* **complete** — the flow's record is finalised and its soft state is
+  *retired* from every shared node (``retire_flow``), so long runs do
+  not accumulate per-flow state;
+* **abort** — flows still unfinished at :meth:`finalize` are marked
+  aborted (and counted, never silently dropped).
+
+Memory is governed by a :class:`~repro.workload.budget.MemoryBudget`:
+Midnode caches draw from one :class:`~repro.workload.budget.
+SharedCachePool` sized to a fraction of the ceiling, per-flow soft state
+is charged to a ``flows`` account, and arrivals that would overflow the
+flow share are rejected at admission — the ceiling is a hard bound, not
+a hint.
+
+Everything is deterministic per seed: arrivals come from a named RNG
+stream, spawn order follows the demand list, and eviction order in the
+shared cache pool is tie-broken by registration index.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.config import LeotpConfig
+from repro.core.consumer import Consumer
+from repro.core.midnode import Midnode
+from repro.core.producer import Producer
+from repro.netsim.link import DuplexLink
+from repro.netsim.node import Router
+from repro.netsim.topology import HopSpec, build_chain
+from repro.obs.metrics import METRICS
+from repro.simcore.process import TimelineProcess
+from repro.simcore.random import RngRegistry
+from repro.simcore.simulator import Simulator
+from repro.tcp.cc import make_cc
+from repro.tcp.connection import FiniteStream, TcpReceiver, TcpSender
+from repro.workload.arrivals import FlowDemand, WorkloadSpec, generate_demands
+from repro.workload.budget import MemoryBudget, SharedCachePool
+from repro.workload.metrics import FairnessTracker, FlowRecord
+
+#: Estimated soft-state bytes one flow pins on one responder node
+#: (SHR detector, rate controller, learned links, range bookkeeping).
+FLOW_STATE_BYTES_PER_NODE = 512
+
+#: Protocols the pool can multiplex.  ``"leotp"`` shares Midnodes;
+#: anything else is treated as a TCP congestion-control name and shares
+#: a router chain.
+LEOTP = "leotp"
+
+
+class FlowPool:
+    """Spawns, multiplexes, and retires many flows over one shared path."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: RngRegistry,
+        *,
+        spec: WorkloadSpec,
+        hops: Sequence[HopSpec],
+        protocol: str = LEOTP,
+        config: Optional[LeotpConfig] = None,
+        memory_ceiling_bytes: int = 48 << 20,
+        cache_fraction: float = 0.75,
+        fairness_window_s: float = 1.0,
+        access_rate_bps: float = 100e6,
+        access_delay_s: float = 0.002,
+    ) -> None:
+        if len(hops) < 1:
+            raise ValueError("need at least one hop")
+        if not 0.0 < cache_fraction < 1.0:
+            raise ValueError("cache_fraction must be in (0, 1)")
+        self.sim = sim
+        self.rng = rng
+        self.spec = spec
+        self.protocol = protocol
+        self.config = config if config is not None else LeotpConfig()
+        self.access_rate_bps = access_rate_bps
+        self.access_delay_s = access_delay_s
+        self.budget = MemoryBudget(memory_ceiling_bytes)
+        self.fairness = FairnessTracker(fairness_window_s)
+        self.records: list[FlowRecord] = []
+        self._live: dict[str, FlowRecord] = {}
+        self._delivered: dict[str, int] = {}  # TCP completion tracking
+        # Counters.
+        self.arrivals = 0
+        self.completed = 0
+        self.aborted = 0
+        self.admission_rejects = 0
+        self.peak_concurrency = 0
+        self._finalized = False
+
+        demands = generate_demands(spec, rng.stream("workload:arrivals"))
+        self._demands = demands
+        self._next_demand = 0
+
+        if protocol == LEOTP:
+            self._build_leotp_chain(hops)
+            cache_capacity = int(memory_ceiling_bytes * cache_fraction)
+            self.cache_pool: Optional[SharedCachePool] = SharedCachePool(
+                cache_capacity,
+                self.config.cache_block_bytes,
+                budget=self.budget,
+                account="cache",
+            )
+            for mid in self.midnodes:
+                mid.cache = self.cache_pool.member()
+            responders = len(self.midnodes) + 1  # + Producer
+            self._flow_state_bytes = FLOW_STATE_BYTES_PER_NODE * responders
+            self._flow_share_bytes = memory_ceiling_bytes - cache_capacity
+        else:
+            self._build_router_chain(hops)
+            self.cache_pool = None
+            # A TCP flow pins state only at its endpoints plus one route
+            # entry per router and direction.
+            self._flow_state_bytes = (
+                2 * FLOW_STATE_BYTES_PER_NODE + 64 * 2 * len(self.routers)
+            )
+            self._flow_share_bytes = memory_ceiling_bytes
+
+        if spec.closed_loop:
+            self._timeline: Optional[TimelineProcess] = None
+            for _ in range(min(spec.target_concurrency, len(demands))):
+                self._spawn_next()
+        else:
+            self._timeline = TimelineProcess(
+                sim,
+                [(d.arrival_s, i) for i, d in enumerate(demands)],
+                self._spawn_index,
+            )
+
+    # ------------------------------------------------------------------
+    # Shared-substrate construction
+    # ------------------------------------------------------------------
+
+    def _build_leotp_chain(self, hops: Sequence[HopSpec]) -> None:
+        self.producer = Producer(
+            self.sim, "pool-prod", self.config, content_bytes=None
+        )
+        self.midnodes = [
+            Midnode(self.sim, f"pool-mid{i}", self.config)
+            for i in range(len(hops))
+        ]
+        nodes = [self.producer, *self.midnodes]
+        self.links = build_chain(self.sim, nodes, list(hops), self.rng)
+        for i, mid in enumerate(self.midnodes):
+            mid.set_upstream(self.links[i].ba)
+        # Every Consumer hangs off the last Midnode through its own access
+        # link; the hub learns each flow's downstream from its Interests.
+        self.hub = self.midnodes[-1]
+        self.routers: list[Router] = []
+
+    def _build_router_chain(self, hops: Sequence[HopSpec]) -> None:
+        self.routers = [
+            Router(self.sim, f"pool-r{i}") for i in range(len(hops) + 1)
+        ]
+        self.links = build_chain(self.sim, self.routers, list(hops), self.rng)
+        self.producer = None  # type: ignore[assignment]
+        self.midnodes = []
+        self.hub = None  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._live)
+
+    @property
+    def pending_demands(self) -> int:
+        return len(self._demands) - self._next_demand
+
+    def _spawn_next(self) -> None:
+        """Closed-loop admission: spawn the next pending demand, if any."""
+        if self._next_demand < len(self._demands) and not self._finalized:
+            self._spawn_index(self._next_demand)
+
+    def _spawn_index(self, idx: int) -> None:
+        demand = self._demands[idx]
+        self._next_demand = max(self._next_demand, idx + 1)
+        self.arrivals += 1
+        flow_id = f"w{idx:05d}"
+        record = FlowRecord(
+            flow_id=flow_id,
+            arrival_s=demand.arrival_s,
+            size_bytes=demand.size_bytes,
+            start_s=self.sim.now,
+        )
+        self.records.append(record)
+        # Hard admission: per-flow soft state may not overflow the budget
+        # share left after the cache pool's slice.
+        projected = (self.active_flows + 1) * self._flow_state_bytes
+        if projected > self._flow_share_bytes:
+            record.aborted = True
+            self.aborted += 1
+            self.admission_rejects += 1
+            if self.spec.closed_loop:
+                self._spawn_next()
+            return
+        self._live[flow_id] = record
+        if self.active_flows > self.peak_concurrency:
+            self.peak_concurrency = self.active_flows
+        self.budget.set_account(
+            "flows", self.active_flows * self._flow_state_bytes
+        )
+        if self.protocol == LEOTP:
+            self._spawn_leotp(flow_id, demand)
+        else:
+            self._spawn_tcp(flow_id, demand)
+
+    def _spawn_leotp(self, flow_id: str, demand: FlowDemand) -> None:
+        consumer = Consumer(
+            self.sim,
+            f"{flow_id}-cons",
+            flow_id,
+            self.config,
+            total_bytes=demand.size_bytes,
+            deliver=lambda nbytes, ts, fid=flow_id: self._on_delivery(
+                fid, nbytes
+            ),
+            on_complete=lambda c, fid=flow_id: self._complete(fid),
+        )
+        access = DuplexLink(
+            self.sim,
+            self.hub,
+            consumer,
+            rate_bps=self.access_rate_bps,
+            delay_s=self.access_delay_s,
+            name=f"access-{flow_id}",
+        )
+        consumer.out_link = access.ba
+
+    def _spawn_tcp(self, flow_id: str, demand: FlowDemand) -> None:
+        snd_name = f"{flow_id}-snd"
+        rcv_name = f"{flow_id}-rcv"
+        receiver = TcpReceiver(
+            self.sim,
+            rcv_name,
+            None,
+            deliver=lambda nbytes, ts, fid=flow_id, total=demand.size_bytes: (
+                self._on_tcp_delivery(fid, nbytes, total)
+            ),
+            flow_id=flow_id,
+        )
+        sender = TcpSender(
+            self.sim,
+            snd_name,
+            rcv_name,
+            None,
+            make_cc(self.protocol),
+            stream=FiniteStream(demand.size_bytes),
+            flow_id=flow_id,
+        )
+        up = DuplexLink(
+            self.sim, sender, self.routers[0],
+            rate_bps=self.access_rate_bps, delay_s=self.access_delay_s,
+            name=f"up-{flow_id}",
+        )
+        down = DuplexLink(
+            self.sim, self.routers[-1], receiver,
+            rate_bps=self.access_rate_bps, delay_s=self.access_delay_s,
+            name=f"down-{flow_id}",
+        )
+        sender.out_link = up.ab
+        receiver.out_link = down.ba
+        self._delivered[flow_id] = 0
+        # Segments toward the receiver ride .ab; ACKs ride .ba back.
+        for i in range(len(self.links)):
+            self.routers[i].add_route(rcv_name, self.links[i].ab)
+            self.routers[i + 1].add_route(snd_name, self.links[i].ba)
+        self.routers[-1].add_route(rcv_name, down.ab)
+        self.routers[0].add_route(snd_name, up.ba)
+
+    # ------------------------------------------------------------------
+    # Completion / retirement
+    # ------------------------------------------------------------------
+
+    def _on_delivery(self, flow_id: str, nbytes: int) -> None:
+        self.fairness.on_delivery(flow_id, nbytes, self.sim.now)
+
+    def _on_tcp_delivery(self, flow_id: str, nbytes: int, total: int) -> None:
+        self._on_delivery(flow_id, nbytes)
+        got = self._delivered.get(flow_id)
+        if got is None:
+            return  # already completed; late duplicate delivery
+        got += nbytes
+        self._delivered[flow_id] = got
+        if got >= total:
+            self._complete(flow_id)
+
+    def _complete(self, flow_id: str) -> None:
+        record = self._live.pop(flow_id, None)
+        if record is None:
+            return
+        record.finish_s = self.sim.now
+        self.completed += 1
+        self._retire(flow_id)
+        self.budget.set_account(
+            "flows", self.active_flows * self._flow_state_bytes
+        )
+        if self.spec.closed_loop:
+            self._spawn_next()
+
+    def _retire(self, flow_id: str) -> None:
+        """Release the flow's soft state from every shared node."""
+        if self.protocol == LEOTP:
+            for mid in self.midnodes:
+                mid.retire_flow(flow_id)
+            self.producer.retire_flow(flow_id)
+        else:
+            self._delivered.pop(flow_id, None)
+            snd_name = f"{flow_id}-snd"
+            rcv_name = f"{flow_id}-rcv"
+            for router in self.routers:
+                router.remove_route(snd_name)
+                router.remove_route(rcv_name)
+
+    def finalize(self) -> None:
+        """End the workload: unfinished flows become aborted, state drops."""
+        if self._finalized:
+            return
+        self._finalized = True
+        if self._timeline is not None:
+            self._timeline.stop()
+        for flow_id, record in list(self._live.items()):
+            record.aborted = True
+            self.aborted += 1
+            self._retire(flow_id)
+        self._live.clear()
+        self.budget.set_account("flows", 0)
+
+    # ------------------------------------------------------------------
+    # Reporting / observability
+    # ------------------------------------------------------------------
+
+    def attach_samplers(self, interval_s: Optional[float] = None) -> str:
+        """Register pool-level samplers (occupancy, memory) with METRICS."""
+        run = METRICS.new_run(f"pool:{self.protocol}")
+        samplers = {
+            "pool.active_flows": ("pool", lambda: float(self.active_flows)),
+            "pool.completed": ("pool", lambda: float(self.completed)),
+            "pool.budget_bytes": (
+                "pool", lambda: float(self.budget.total_bytes)),
+        }
+        if self.cache_pool is not None:
+            samplers["pool.cache_bytes"] = (
+                "pool", lambda: float(self.cache_pool.stored_bytes))
+        METRICS.attach_group(self.sim, run, samplers, interval_s)
+        return run
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate outcome of the run (call after :meth:`finalize`)."""
+        from repro.analysis.stats import fct_percentiles
+
+        fcts = [r.fct_s for r in self.records if r.fct_s is not None]
+        goodputs = [
+            r.goodput_bytes_s
+            for r in self.records
+            if r.goodput_bytes_s is not None
+        ]
+        out: dict[str, float] = {
+            "arrivals": float(self.arrivals),
+            "completed": float(self.completed),
+            "aborted": float(self.aborted),
+            "admission_rejects": float(self.admission_rejects),
+            "peak_concurrency": float(self.peak_concurrency),
+            "budget_peak_bytes": float(self.budget.peak_bytes),
+            "budget_breaches": float(self.budget.breaches),
+        }
+        if self.cache_pool is not None:
+            out["cache_pool_evictions"] = float(self.cache_pool.pool_evictions)
+            out["cache_pool_evicted_bytes"] = float(
+                self.cache_pool.pool_evicted_bytes
+            )
+        out.update(fct_percentiles(fcts))
+        if goodputs:
+            out["goodput_mean_bytes_s"] = sum(goodputs) / len(goodputs)
+        out.update(self.fairness.summary())
+        return out

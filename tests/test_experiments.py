@@ -100,7 +100,7 @@ class TestRegistry:
             "fig01", "fig02", "fig03", "fig04", "fig05", "fig10", "fig11",
             "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
             "fig19", "table2", "ablation_vph", "ablation_params",
-            "related_snoop", "constellation_study", "chaos",
+            "related_snoop", "constellation_study", "chaos", "workload",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

@@ -118,3 +118,56 @@ class TestGatewayBridge:
                 sim, RngRegistry(0), total_bytes=0,
                 leo_hops=uniform_chain_specs(2),
             )
+
+
+class TestGatewayChaos:
+    """Fault injection on the bridged path (LEO blackout + satellite crash).
+
+    ``GatewayPath`` exposes ``links``/``consumer``/``producer``/``midnodes``
+    so ``run_leotp_chaos(builder=...)`` can arm its invariant monitor on
+    the LEOTP segment and target LEO hops / satellites by name.
+    """
+
+    TOTAL = 400_000
+
+    def _builder(self, n_hops=3):
+        def build(sim, rng):
+            return build_gateway_path(
+                sim, rng, total_bytes=self.TOTAL,
+                leo_hops=uniform_chain_specs(
+                    n_hops, rate_bps=20e6, delay_s=0.008
+                ),
+            )
+
+        return build
+
+    def test_leo_blackout_recovers(self):
+        from repro.faults import FaultSchedule, LinkDown, run_leotp_chaos
+
+        schedule = FaultSchedule([
+            LinkDown(at_s=0.5, link="hop1", duration_s=0.5),
+        ])
+        result = run_leotp_chaos(
+            schedule, duration_s=25.0, seed=2, builder=self._builder()
+        )
+        result.assert_ok()
+        assert result.completed
+        # The terrestrial client got every byte despite the LEO outage.
+        assert result.path.client.bytes_delivered == self.TOTAL
+        assert any("hop1 DOWN" in action for _, action in result.fault_log)
+
+    def test_satellite_crash_recovers(self):
+        from repro.faults import FaultSchedule, NodeCrash, run_leotp_chaos
+
+        schedule = FaultSchedule([
+            NodeCrash(at_s=0.5, node="sat0", restart_after_s=0.5),
+        ])
+        result = run_leotp_chaos(
+            schedule, duration_s=25.0, seed=2, builder=self._builder()
+        )
+        result.assert_ok()
+        assert result.completed
+        assert result.path.client.bytes_delivered == self.TOTAL
+        actions = [action for _, action in result.fault_log]
+        assert any("sat0 CRASHED" in a for a in actions)
+        assert any("sat0 restarted" in a for a in actions)

@@ -9,13 +9,17 @@ from repro.simcore import Simulator
 
 
 def build_multicast_tree(sim, n_consumers=2, total=50 * 1400, stagger=0.0):
-    """n consumers <- midnode <- producer, all requesting the same flow."""
+    """n consumers <- midnode <- producer, all requesting the same flow.
+
+    Returns the links too (upstream first, then one access link per
+    consumer) so fault schedules can target them by position.
+    """
     config = LeotpConfig()
     producer = Producer(sim, "prod", config, content_bytes=total)
     midnode = MulticastMidnode(sim, "mid", config)
     up = DuplexLink(sim, producer, midnode, rate_bps=20e6, delay_s=0.010)
     midnode.set_upstream(up.ba)
-    consumers, recorders = [], []
+    consumers, recorders, links = [], [], [up]
     for i in range(n_consumers):
         recorder = FlowRecorder(sim, name=f"c{i}")
         consumer = Consumer(
@@ -27,19 +31,20 @@ def build_multicast_tree(sim, n_consumers=2, total=50 * 1400, stagger=0.0):
         consumer.out_link = access.ba
         consumers.append(consumer)
         recorders.append(recorder)
-    return producer, midnode, consumers, recorders
+        links.append(access)
+    return producer, midnode, consumers, recorders, links
 
 
 class TestMulticast:
     def test_both_consumers_complete(self):
         sim = Simulator()
-        producer, midnode, consumers, _ = build_multicast_tree(sim)
+        producer, midnode, consumers, _, _ = build_multicast_tree(sim)
         sim.run(until=30.0)
         assert all(c.finished for c in consumers)
 
     def test_simultaneous_requests_are_aggregated(self):
         sim = Simulator()
-        producer, midnode, consumers, _ = build_multicast_tree(sim)
+        producer, midnode, consumers, _, _ = build_multicast_tree(sim)
         sim.run(until=30.0)
         assert midnode.interests_aggregated > 0
         assert midnode.fanout_packets > 0
@@ -49,7 +54,7 @@ class TestMulticast:
         than two full transfers (the paper's multicast benefit)."""
         total = 100 * 1400
         sim = Simulator()
-        producer, midnode, consumers, _ = build_multicast_tree(
+        producer, midnode, consumers, _, _ = build_multicast_tree(
             sim, n_consumers=2, total=total
         )
         sim.run(until=60.0)
@@ -62,7 +67,7 @@ class TestMulticast:
         costing the producer almost nothing extra."""
         total = 50 * 1400
         sim = Simulator()
-        producer, midnode, consumers, _ = build_multicast_tree(
+        producer, midnode, consumers, _, _ = build_multicast_tree(
             sim, n_consumers=2, total=total, stagger=5.0,
         )
         sim.run(until=60.0)
@@ -72,7 +77,7 @@ class TestMulticast:
 
     def test_retransmission_interests_bypass_pit(self):
         sim = Simulator()
-        producer, midnode, consumers, _ = build_multicast_tree(sim)
+        producer, midnode, consumers, _, _ = build_multicast_tree(sim)
         sim.run(until=30.0)
         # Reliability invariant: every byte reached every consumer exactly
         # once even with aggregation in the path.
@@ -91,3 +96,61 @@ class TestMulticast:
         sim.run()
         assert midnode.expire_pit() == 1
         assert midnode._pit == {}
+
+
+class _MulticastChaosPath:
+    """Adapter exposing the multicast tree through the chaos path protocol.
+
+    ``run_leotp_chaos`` arms invariants on ``consumer`` (the first one)
+    and registers ``links``/``intermediates``/``consumers`` with the
+    fault injector; the extra consumers ride along for post-run asserts.
+    """
+
+    def __init__(self, producer, midnode, consumers, recorders, links):
+        self.producer = producer
+        self.consumer = consumers[0]
+        self.consumers = consumers
+        self.intermediates = [midnode]
+        self.midnodes = [midnode]
+        self.recorder = recorders[0]
+        self.links = links
+
+
+class TestMulticastChaos:
+    """Fault injection on the multicast tree (blackout + midnode crash)."""
+
+    def _builder(self, total=50 * 1400):
+        def build(sim, rng):
+            return _MulticastChaosPath(*build_multicast_tree(sim, total=total))
+
+        return build
+
+    def test_upstream_blackout_recovers(self):
+        from repro.faults import FaultSchedule, LinkDown, run_leotp_chaos
+
+        schedule = FaultSchedule([
+            LinkDown(at_s=0.3, link="hop0", duration_s=0.4),
+        ])
+        result = run_leotp_chaos(
+            schedule, duration_s=30.0, seed=3, builder=self._builder()
+        )
+        result.assert_ok()
+        assert result.completed
+        # Every consumer (not just the monitored one) got the whole flow.
+        assert all(c.finished for c in result.path.consumers)
+        assert any("hop0 DOWN" in action for _, action in result.fault_log)
+
+    def test_midnode_crash_recovers(self):
+        from repro.faults import FaultSchedule, NodeCrash, run_leotp_chaos
+
+        schedule = FaultSchedule([
+            NodeCrash(at_s=0.3, node="mid", restart_after_s=0.4),
+        ])
+        result = run_leotp_chaos(
+            schedule, duration_s=30.0, seed=3, builder=self._builder()
+        )
+        result.assert_ok()
+        assert all(c.finished for c in result.path.consumers)
+        actions = [action for _, action in result.fault_log]
+        assert any("mid CRASHED" in a for a in actions)
+        assert any("mid restarted" in a for a in actions)

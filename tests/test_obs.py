@@ -42,10 +42,12 @@ from repro.obs import (
     load_jsonl,
     validate_record,
 )
-from repro.experiments.runner import run_experiments, run_one
+from repro.experiments.runner import RunSpec, run_experiments, run_one
 
 _TINY = 0.02
 _SEED = 0
+_SPEC = RunSpec(scale=_TINY, seed=_SEED)
+_OBS_SPEC = RunSpec(scale=_TINY, seed=_SEED, observe=True)
 
 
 @pytest.fixture(autouse=True)
@@ -69,7 +71,7 @@ class TestOffPath:
     def test_untraced_run_records_nothing(self):
         tracer_before = repro.obs.TRACER
         metrics_before = repro.obs.METRICS
-        run_one("fig02", scale=_TINY, seed=_SEED)
+        run_one("fig02", _SPEC)
         assert repro.obs.TRACER is tracer_before
         assert repro.obs.METRICS is metrics_before
         assert not TRACER.enabled and not TRACER.records
@@ -77,8 +79,8 @@ class TestOffPath:
 
     def test_observation_is_read_only(self):
         # Result rows must be bit-identical with observation on or off.
-        plain = run_one("fig02", scale=_TINY, seed=_SEED)
-        observed = run_one("fig02", scale=_TINY, seed=_SEED, observe=True)
+        plain = run_one("fig02", _SPEC)
+        observed = run_one("fig02", _OBS_SPEC)
         assert plain.result == observed.result
         assert observed.trace_records and observed.metric_samples
         assert plain.trace_records is None and plain.metric_samples is None
@@ -87,10 +89,8 @@ class TestOffPath:
 class TestDeterminism:
     def test_streams_identical_across_jobs(self):
         names = ["fig10", "fig02"]
-        serial = run_experiments(names, scale=_TINY, seed=_SEED,
-                                 jobs=1, observe=True)
-        pooled = run_experiments(names, scale=_TINY, seed=_SEED,
-                                 jobs=2, observe=True)
+        serial = run_experiments(names, _OBS_SPEC, jobs=1)
+        pooled = run_experiments(names, _OBS_SPEC, jobs=2)
         for a, b in zip(serial, pooled):
             assert a.name == b.name
             assert a.result == b.result
@@ -100,7 +100,7 @@ class TestDeterminism:
 
 class TestSchema:
     def test_emitted_records_validate(self):
-        outcome = run_one("fig02", scale=_TINY, seed=_SEED, observe=True)
+        outcome = run_one("fig02", _OBS_SPEC)
         for rec in outcome.trace_records:
             validate_record(rec)
         for row in outcome.metric_samples:
@@ -109,7 +109,7 @@ class TestSchema:
             assert {"run", "series", "value"} <= row.keys()
 
     def test_jsonl_round_trip(self, tmp_path):
-        outcome = run_one("fig02", scale=_TINY, seed=_SEED, observe=True)
+        outcome = run_one("fig02", _OBS_SPEC)
         rows = outcome.trace_records + outcome.metric_samples
         dest = tmp_path / "obs.jsonl"
         dump_jsonl(rows, dest)
@@ -132,9 +132,68 @@ class TestSchema:
         assert tracer.dropped_records == 3
 
 
+class TestStreaming:
+    """JSONL streaming export: past max_records, flush to disk, drop nothing."""
+
+    def test_stream_keeps_all_records(self, tmp_path):
+        dest = tmp_path / "stream.jsonl"
+        tracer = EventTracer(max_records=10)
+        tracer.enable()
+        tracer.set_stream(dest)
+        assert tracer.streaming
+        for i in range(35):
+            tracer.emit(float(i), "e", "n", seq=i)
+        total = tracer.close_stream()
+        assert total == 35
+        assert tracer.dropped_records == 0
+        assert tracer.flushed_records == 35
+        rows = load_jsonl(dest)
+        assert [row["seq"] for row in rows] == list(range(35))
+        for row in rows:
+            validate_record(row)
+
+    def test_without_stream_old_drop_behaviour(self):
+        tracer = EventTracer(max_records=10)
+        tracer.enable()
+        for i in range(35):
+            tracer.emit(float(i), "e", "n")
+        assert not tracer.streaming
+        assert len(tracer.records) == 10
+        assert tracer.dropped_records == 25
+        assert tracer.flushed_records == 0
+
+    def test_close_stream_is_idempotent(self, tmp_path):
+        dest = tmp_path / "stream.jsonl"
+        tracer = EventTracer(max_records=4)
+        tracer.enable()
+        tracer.set_stream(dest)
+        for i in range(6):
+            tracer.emit(float(i), "e", "n")
+        assert tracer.close_stream() == 6
+        assert tracer.close_stream() == 0  # already closed: no-op
+        assert len(load_jsonl(dest)) == 6
+
+    def test_reset_leaves_stream_attached(self, tmp_path):
+        dest = tmp_path / "stream.jsonl"
+        tracer = EventTracer(max_records=4)
+        tracer.enable()
+        tracer.set_stream(dest)
+        for i in range(5):
+            tracer.emit(float(i), "e", "n")
+        tracer.reset()
+        tracer.enable()
+        assert tracer.streaming
+        assert tracer.flushed_records == 0
+        tracer.emit(9.0, "e", "n")
+        tracer.close_stream()
+        # Pre-reset flushes survive on disk; post-reset emit follows them.
+        rows = load_jsonl(dest)
+        assert rows and rows[-1]["t"] == 9.0
+
+
 class TestReport:
     def test_summary_renders_all_sections(self):
-        outcome = run_one("fig10", scale=_TINY, seed=_SEED, observe=True)
+        outcome = run_one("fig10", _OBS_SPEC)
         records, samples = outcome.trace_records, outcome.metric_samples
         counts = event_counts(records)
         # fig10 flows are duration-bounded (no flow_complete); losses and
@@ -181,7 +240,7 @@ class TestReport:
         assert a generous band around the report plus the structural
         facts (retransmitted deliveries exist and cost > 0).
         """
-        outcome = run_one("fig10", scale=_TINY, seed=_SEED, observe=True)
+        outcome = run_one("fig10", _OBS_SPEC)
         latency = recovery_latency_ms(outcome.trace_records)
         assert latency is not None
         assert latency["retx_deliveries"] > 0

@@ -17,12 +17,12 @@ import os
 import pytest
 
 from repro.experiments import ALL_EXPERIMENTS
-from repro.experiments.runner import run_experiments, run_one
+from repro.experiments.runner import RunSpec, run_experiments, run_one
 
 # Experiments cheap enough (at tiny scale) to check on every run.
 _CHEAP_IDS = ("fig02", "fig03")
 _TINY_SCALE = 0.02
-_SEED = 0
+_SPEC = RunSpec(scale=_TINY_SCALE, seed=0)
 
 
 def _gated(name: str):
@@ -39,8 +39,8 @@ def _gated(name: str):
 @pytest.mark.parametrize("name", [_gated(n) for n in sorted(ALL_EXPERIMENTS)])
 def test_parallel_rows_bit_identical(name):
     """--jobs N rows == serial rows, for every experiment id."""
-    serial = run_experiments([name], scale=_TINY_SCALE, seed=_SEED, jobs=1)
-    parallel = run_experiments([name], scale=_TINY_SCALE, seed=_SEED, jobs=2)
+    serial = run_experiments([name], _SPEC, jobs=1)
+    parallel = run_experiments([name], _SPEC, jobs=2)
     assert len(serial) == len(parallel) == 1
     assert serial[0].result["rows"] == parallel[0].result["rows"]
     assert serial[0].result["notes"] == parallel[0].result["notes"]
@@ -49,8 +49,8 @@ def test_parallel_rows_bit_identical(name):
 def test_multi_experiment_order_and_rows():
     """A mixed batch returns outcomes in request order with serial rows."""
     names = list(_CHEAP_IDS)
-    serial = run_experiments(names, scale=_TINY_SCALE, seed=_SEED, jobs=1)
-    parallel = run_experiments(names, scale=_TINY_SCALE, seed=_SEED, jobs=2)
+    serial = run_experiments(names, _SPEC, jobs=1)
+    parallel = run_experiments(names, _SPEC, jobs=2)
     assert [o.name for o in serial] == names
     assert [o.name for o in parallel] == names
     for s, p in zip(serial, parallel):
@@ -59,23 +59,77 @@ def test_multi_experiment_order_and_rows():
 
 def test_run_one_is_the_shared_worker():
     """Serial path and pool path both execute run_one (structural pin)."""
-    outcome = run_one("fig03", scale=_TINY_SCALE, seed=_SEED)
-    serial = run_experiments(["fig03"], scale=_TINY_SCALE, seed=_SEED, jobs=1)
+    outcome = run_one("fig03", _SPEC)
+    serial = run_experiments(["fig03"], _SPEC, jobs=1)
     assert outcome.result == serial[0].result
 
 
+def test_single_id_parallel_uses_the_pool(monkeypatch):
+    """jobs=2 with one id still routes through the process pool.
+
+    The single-experiment bit-identity checks above are only meaningful
+    if the parallel leg actually crosses a process boundary.
+    """
+    import repro.experiments.runner as runner_mod
+
+    submitted = []
+    real_pool = runner_mod.ProcessPoolExecutor
+
+    class SpyPool(real_pool):
+        def submit(self, fn, *args, **kwargs):
+            submitted.append(args[0])
+            return super().submit(fn, *args, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", SpyPool)
+    outcomes = runner_mod.run_experiments(["fig03"], _SPEC, jobs=2)
+    assert submitted == ["fig03"]
+    assert outcomes[0].name == "fig03"
+
+
 def test_profile_dump(tmp_path):
-    """--profile writes a loadable pstats file per experiment."""
+    """profile_dir writes a loadable pstats file per experiment."""
     import pstats
 
     outcome = run_one(
-        "fig03", scale=_TINY_SCALE, seed=_SEED, profile_dir=str(tmp_path)
+        "fig03", RunSpec(scale=_TINY_SCALE, seed=0, profile_dir=str(tmp_path))
     )
     assert outcome.profile_path is not None
     stats = pstats.Stats(outcome.profile_path)
     assert stats.total_calls > 0
 
 
+def test_sampler_interval_override():
+    """RunSpec.sampler_interval_s governs observed sampling cadence."""
+    from repro.obs import METRICS
+
+    coarse = run_one(
+        "fig02",
+        RunSpec(scale=_TINY_SCALE, seed=0, observe=True,
+                sampler_interval_s=0.5),
+    )
+    fine = run_one(
+        "fig02",
+        RunSpec(scale=_TINY_SCALE, seed=0, observe=True,
+                sampler_interval_s=0.05),
+    )
+    n_coarse = len(coarse.metric_samples or [])
+    n_fine = len(fine.metric_samples or [])
+    assert 0 < n_coarse < n_fine
+    # Rows are bit-identical regardless of cadence (observation is
+    # read-only) and the global cadence is restored afterwards.
+    assert coarse.result["rows"] == fine.result["rows"]
+    from repro.obs.metrics import DEFAULT_INTERVAL_S
+
+    assert METRICS.interval_s == DEFAULT_INTERVAL_S
+
+
+def test_runspec_validation():
+    with pytest.raises(ValueError):
+        RunSpec(scale=0.0)
+    with pytest.raises(ValueError):
+        RunSpec(sampler_interval_s=0.0)
+
+
 def test_jobs_validation():
     with pytest.raises(ValueError):
-        run_experiments(["fig03"], scale=_TINY_SCALE, seed=_SEED, jobs=0)
+        run_experiments(["fig03"], _SPEC, jobs=0)

@@ -1,0 +1,354 @@
+"""Tests for the many-flow workload engine (arrivals, budget, pool).
+
+The acceptance-level test here is ``test_pool_sustains_1000_arrivals``:
+a FlowPool must carry >= 1000 flow arrivals over one shared chain with
+>= 95 % completing, while the memory-budget ledger proves the configured
+ceiling held (peak <= ceiling, zero breaches) and retired flows leave no
+soft state behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.topology import uniform_chain_specs
+from repro.simcore import RngRegistry, Simulator
+from repro.workload import (
+    FLOW_STATE_BYTES_PER_NODE,
+    FairnessTracker,
+    FlowPool,
+    FlowRecord,
+    MemoryBudget,
+    SharedCachePool,
+    WorkloadSpec,
+    generate_demands,
+    offered_load_bytes_s,
+)
+
+
+def _poisson_spec(**overrides):
+    base = dict(
+        arrival="poisson", rate_per_s=200.0, n_flows=100,
+        size_dist="lognormal", mean_size_bytes=8_000, sigma=1.0,
+        max_size_bytes=50_000,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestArrivals:
+    def test_poisson_deterministic_per_seed(self):
+        spec = _poisson_spec()
+        a = generate_demands(spec, RngRegistry(7).stream("workload:arrivals"))
+        b = generate_demands(spec, RngRegistry(7).stream("workload:arrivals"))
+        c = generate_demands(spec, RngRegistry(8).stream("workload:arrivals"))
+        assert a == b
+        assert a != c
+
+    def test_poisson_sorted_and_sized(self):
+        spec = _poisson_spec(n_flows=500)
+        demands = generate_demands(
+            spec, RngRegistry(0).stream("workload:arrivals")
+        )
+        assert len(demands) == 500
+        times = [d.arrival_s for d in demands]
+        assert times == sorted(times)
+        for d in demands:
+            assert spec.min_size_bytes <= d.size_bytes <= spec.max_size_bytes
+
+    def test_lognormal_mean_parameterisation(self):
+        # mu = ln(mean) - sigma^2/2 keeps the configured mean honest
+        # (clipping skews it a little; accept a generous band).
+        spec = _poisson_spec(n_flows=5000, mean_size_bytes=10_000,
+                             max_size_bytes=2_000_000)
+        demands = generate_demands(
+            spec, RngRegistry(1).stream("workload:arrivals")
+        )
+        mean = sum(d.size_bytes for d in demands) / len(demands)
+        assert 8_000 < mean < 12_500
+
+    def test_fixed_sizes(self):
+        spec = _poisson_spec(size_dist="fixed", mean_size_bytes=4_000)
+        demands = generate_demands(
+            spec, RngRegistry(0).stream("workload:arrivals")
+        )
+        assert {d.size_bytes for d in demands} == {4_000}
+
+    def test_trace_arrivals(self):
+        spec = WorkloadSpec(
+            arrival="trace", trace=((0.0, 1000), (0.5, 2000), (0.5, 3000)),
+        )
+        demands = generate_demands(
+            spec, RngRegistry(0).stream("workload:arrivals")
+        )
+        assert [d.size_bytes for d in demands] == [1000, 2000, 3000]
+        assert offered_load_bytes_s(demands) == pytest.approx(6000 / 0.5)
+
+    def test_trace_must_be_sorted(self):
+        spec = WorkloadSpec(arrival="trace", trace=((1.0, 100), (0.5, 100)))
+        with pytest.raises(ValueError):
+            generate_demands(spec, RngRegistry(0).stream("workload:arrivals"))
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(arrival="burst")
+        with pytest.raises(ValueError):
+            WorkloadSpec(size_dist="pareto")
+        with pytest.raises(ValueError):
+            WorkloadSpec(rate_per_s=0.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(arrival="trace", trace=())
+        with pytest.raises(ValueError):
+            WorkloadSpec(min_size_bytes=2000, max_size_bytes=1000)
+        with pytest.raises(ValueError):
+            WorkloadSpec(closed_loop=True, target_concurrency=0)
+
+
+class TestMemoryBudget:
+    def test_accounts_and_peak(self):
+        budget = MemoryBudget(1000)
+        budget.set_account("cache", 600)
+        budget.charge("flows", 300)
+        assert budget.total_bytes == 900
+        assert budget.headroom_bytes == 100
+        assert budget.account("cache") == 600
+        budget.set_account("cache", 100)
+        assert budget.total_bytes == 400
+        assert budget.peak_bytes == 900
+        assert budget.breaches == 0
+
+    def test_breach_counting(self):
+        budget = MemoryBudget(1000)
+        budget.set_account("cache", 1500)
+        assert budget.breaches == 1
+        assert budget.peak_bytes == 1500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(0)
+        budget = MemoryBudget(100)
+        with pytest.raises(ValueError):
+            budget.charge("flows", -1)
+
+
+class TestSharedCachePool:
+    def _store(self, cache, flow, start, nbytes, ts=0.0):
+        from repro.common.ranges import ByteRange
+
+        cache.store(flow, ByteRange(start, start + nbytes), ts)
+
+    def test_pool_capacity_enforced_across_members(self):
+        budget = MemoryBudget(100_000)
+        pool = SharedCachePool(8192, block_bytes=4096, budget=budget)
+        a, b = pool.member(), pool.member()
+        self._store(a, "f1", 0, 4096)
+        self._store(b, "f2", 0, 4096)
+        assert pool.stored_bytes == 8192
+        assert pool.pool_evictions == 0
+        # One more block overflows the pool: the fullest member evicts.
+        self._store(a, "f1", 4096, 4096)
+        assert pool.stored_bytes <= 8192
+        assert pool.pool_evictions == 1
+        assert pool.pool_evicted_bytes == 4096
+        assert budget.account("cache") == pool.stored_bytes
+
+    def test_eviction_prefers_fullest_member(self):
+        pool = SharedCachePool(3 * 4096, block_bytes=4096)
+        a, b = pool.member(), pool.member()
+        self._store(a, "f1", 0, 4096)
+        self._store(a, "f1", 4096, 4096)
+        self._store(b, "f2", 0, 4096)
+        # Pool is exactly full; the next store evicts from a (2 blocks > 1).
+        self._store(b, "f2", 4096, 4096)
+        assert a.stored_bytes == 4096
+        assert b.stored_bytes == 2 * 4096
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharedCachePool(0)
+
+
+class TestFlowMetrics:
+    def test_flow_record_derivations(self):
+        rec = FlowRecord("w1", arrival_s=1.0, size_bytes=10_000,
+                         start_s=1.0, finish_s=3.0)
+        assert rec.completed
+        assert rec.fct_s == pytest.approx(2.0)
+        assert rec.goodput_bytes_s == pytest.approx(5_000.0)
+        aborted = FlowRecord("w2", 0.0, 1, 0.0, finish_s=None, aborted=True)
+        assert not aborted.completed
+        assert aborted.fct_s is None and aborted.goodput_bytes_s is None
+
+    def test_windowed_jain(self):
+        tracker = FairnessTracker(window_s=1.0)
+        # Window 0: perfectly fair.  Window 1: single flow (skipped).
+        # Window 2: maximally unfair between two flows.
+        tracker.on_delivery("a", 1000, 0.1)
+        tracker.on_delivery("b", 1000, 0.9)
+        tracker.on_delivery("a", 500, 1.5)
+        tracker.on_delivery("a", 1000, 2.2)
+        tracker.on_delivery("b", 0, 2.3)
+        windows = tracker.windowed_jain()
+        assert [t for t, _ in windows] == [0.0, 2.0]
+        assert windows[0][1] == pytest.approx(1.0)
+        assert windows[1][1] == pytest.approx(0.5)
+        summary = tracker.summary()
+        assert summary["windows"] == 2.0
+        assert summary["jain_min"] == pytest.approx(0.5)
+
+    def test_empty_tracker_vacuous(self):
+        assert FairnessTracker().summary() == {
+            "jain_mean": 1.0, "jain_min": 1.0, "windows": 0.0,
+        }
+
+    def test_fct_percentiles_and_cdf(self):
+        from repro.analysis.stats import fct_percentiles, goodput_cdf
+
+        stats = fct_percentiles([0.1 * (i + 1) for i in range(100)])
+        assert stats["fct_p50_s"] == pytest.approx(5.05, abs=0.1)
+        assert stats["fct_p99_s"] <= 10.0
+        assert fct_percentiles([]) == {
+            "fct_p50_s": 0.0, "fct_p90_s": 0.0,
+            "fct_p99_s": 0.0, "fct_mean_s": 0.0,
+        }
+        cdf = goodput_cdf([1.0, 2.0, 3.0], points=3)
+        assert cdf[0] == (1.0, 0.0) and cdf[-1] == (3.0, 1.0)
+
+
+def _run_pool(protocol="leotp", n_flows=150, seed=0, *, rate_per_s=150.0,
+              ceiling=8 << 20, n_hops=2, drain_s=6.0, spec_overrides=None,
+              **pool_kwargs):
+    spec_kwargs = dict(
+        n_flows=n_flows, rate_per_s=rate_per_s, mean_size_bytes=6_000,
+        max_size_bytes=30_000,
+    )
+    spec_kwargs.update(spec_overrides or {})
+    spec = _poisson_spec(**spec_kwargs)
+    sim = Simulator()
+    pool = FlowPool(
+        sim, RngRegistry(seed), spec=spec,
+        hops=uniform_chain_specs(n_hops, rate_bps=40e6, delay_s=0.004),
+        protocol=protocol, memory_ceiling_bytes=ceiling, **pool_kwargs,
+    )
+    sim.run(until=n_flows / rate_per_s + drain_s)
+    pool.finalize()
+    return pool
+
+
+class TestFlowPool:
+    def test_pool_sustains_1000_arrivals(self):
+        """Acceptance: >= 1000 arrivals, >= 95 % completed, budget held."""
+        pool = _run_pool(n_flows=1000, rate_per_s=300.0)
+        summary = pool.summary()
+        assert summary["arrivals"] >= 1000
+        assert summary["completed"] >= 0.95 * summary["arrivals"]
+        assert summary["budget_peak_bytes"] <= pool.budget.ceiling_bytes
+        assert summary["budget_breaches"] == 0
+        # Retirement left no per-flow soft state on the shared nodes.
+        assert pool.producer._senders == {}
+        for mid in pool.midnodes:
+            assert mid._flows == {}
+
+    def test_tcp_pool_completes(self):
+        pool = _run_pool(protocol="cubic", n_flows=80)
+        summary = pool.summary()
+        assert summary["completed"] >= 0.95 * summary["arrivals"]
+        assert summary["budget_breaches"] == 0
+        # Routes were retired along with the flows.
+        for router in pool.routers:
+            assert len(router._routes) == 0
+
+    def test_deterministic_per_seed(self):
+        a = _run_pool(n_flows=120, seed=3).summary()
+        b = _run_pool(n_flows=120, seed=3).summary()
+        c = _run_pool(n_flows=120, seed=4).summary()
+        assert a == b
+        assert a != c
+
+    def test_tight_cache_budget_evicts_not_breaches(self):
+        """A tiny ceiling forces pool evictions, never ledger breaches."""
+        # A burst of ~simultaneous flows pins far more content than the
+        # 512 KB cache slice (0.25 * 2 MiB) can hold at once.
+        pool = _run_pool(
+            n_flows=250, rate_per_s=500.0, ceiling=2 << 20,
+            cache_fraction=0.25,
+            spec_overrides=dict(mean_size_bytes=15_000, max_size_bytes=60_000),
+        )
+        summary = pool.summary()
+        assert summary["cache_pool_evictions"] > 0
+        assert summary["budget_peak_bytes"] <= 2 << 20
+        assert summary["budget_breaches"] == 0
+        assert summary["completed"] >= 0.95 * summary["arrivals"]
+
+    def test_admission_control_rejects_over_budget_arrivals(self):
+        # Flow share = ceiling - cache slice; make it only big enough for
+        # a handful of concurrent flows, then offer a burst.
+        responders = 2 + 1
+        flow_state = FLOW_STATE_BYTES_PER_NODE * responders
+        ceiling = 100_000
+        pool = _run_pool(
+            n_flows=400, rate_per_s=2000.0, ceiling=ceiling,
+            cache_fraction=0.97,
+        )
+        flow_share = ceiling - int(ceiling * 0.97)
+        max_live = flow_share // flow_state
+        assert pool.admission_rejects > 0
+        assert pool.peak_concurrency <= max_live
+        assert pool.summary()["budget_breaches"] == 0
+
+    def test_closed_loop_holds_target_concurrency(self):
+        pool = _run_pool(
+            n_flows=100,
+            spec_overrides=dict(closed_loop=True, target_concurrency=12),
+        )
+        assert pool.peak_concurrency == 12
+        assert pool.summary()["completed"] >= 95
+
+    def test_finalize_aborts_stragglers(self):
+        pool = _run_pool(n_flows=200, rate_per_s=100.0, drain_s=-1.4)
+        summary = pool.summary()
+        assert summary["aborted"] > 0
+        assert summary["arrivals"] == summary["completed"] + summary["aborted"]
+        assert pool.active_flows == 0
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FlowPool(sim, RngRegistry(0), spec=_poisson_spec(), hops=[])
+        with pytest.raises(ValueError):
+            FlowPool(
+                sim, RngRegistry(0), spec=_poisson_spec(),
+                hops=uniform_chain_specs(2), cache_fraction=1.5,
+            )
+
+
+class TestWorkloadExperiment:
+    def test_experiment_smoke(self):
+        from repro.experiments import ALL_EXPERIMENTS
+
+        result = ALL_EXPERIMENTS["workload"](scale=0.01)
+        assert [row["protocol"] for row in result.rows] == [
+            "leotp", "bbr", "cubic",
+        ]
+        for row in result.rows:
+            assert row["arrivals"] == 60
+            assert row["completed"] >= 0.95 * row["arrivals"]
+            assert row["budget_breaches"] == 0
+            assert 0.0 < row["jain_mean"] <= 1.0
+
+    def test_rows_bit_identical_serial_vs_jobs2(self):
+        from repro.experiments.runner import RunSpec, run_experiments
+
+        spec = RunSpec(scale=0.01, seed=0)
+        serial = run_experiments(["workload"], spec, jobs=1)
+        parallel = run_experiments(["workload"], spec, jobs=2)
+        assert serial[0].result["rows"] == parallel[0].result["rows"]
+
+    def test_workload_summary_renders(self):
+        from repro.analysis.report import workload_summary
+        from repro.experiments import ALL_EXPERIMENTS
+
+        result = ALL_EXPERIMENTS["workload"](scale=0.01)
+        text = workload_summary(result.rows)
+        for needle in ("workload", "fct", "jain", "budget"):
+            assert needle in text.lower()
