@@ -12,6 +12,7 @@ from repro.analysis.formulas import (
 from repro.analysis.owd_model import OwdDistribution, simulate_owd_e2e, simulate_owd_hbh
 from repro.analysis.report import (
     cache_efficiency,
+    churn_summary,
     event_counts,
     rate_ladder,
     recovery_latency_ms,
@@ -30,6 +31,7 @@ from repro.analysis.stats import (
 __all__ = [
     "OwdDistribution",
     "cache_efficiency",
+    "churn_summary",
     "event_counts",
     "rate_ladder",
     "recovery_latency_ms",

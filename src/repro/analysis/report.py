@@ -239,6 +239,61 @@ def workload_summary(rows: Sequence[dict], title: str = "workload") -> str:
     return "\n".join(lines)
 
 
+def churn_summary(rows: Sequence[dict], title: str = "churn") -> str:
+    """Human-readable summary of geometry-driven churn rows.
+
+    ``rows`` are the per-(pair, protocol) dicts produced by the ``churn``
+    experiment: single-flow rows carry per-handover recovery stats from
+    :func:`repro.churn.handover_stats`; the ``leotp-pool`` row carries
+    workload completion/abort counts.  Groups by city pair and renders
+    the recovery story: handovers seen, recovery latency, goodput dip
+    depth, and invariant status per protocol.
+    """
+    lines = [f"-- churn summary: {title} --"]
+    pairs: dict[str, list[dict]] = {}
+    for row in rows:
+        pairs.setdefault(str(row.get("pair", "?")), []).append(row)
+    for pair, pair_rows in pairs.items():
+        head = pair_rows[0]
+        lines.append(
+            f"{pair}: {int(head.get('handovers', 0))} handovers over "
+            f"{int(head.get('hops', 0))} hops "
+            f"({int(head.get('links_removed', 0))} links removed, "
+            f"{int(head.get('gs_reattach', 0))} GS re-attachments, "
+            f"{int(head.get('route_losses', 0))} route losses)"
+        )
+        for row in pair_rows:
+            proto = row.get("protocol", "?")
+            if proto == "leotp-pool":
+                lines.append(
+                    f"  {proto}: {int(row.get('pool_completed', 0))}/"
+                    f"{int(row.get('arrivals', 0))} flows completed, "
+                    f"{int(row.get('pool_aborted', 0))} aborted "
+                    f"({int(row.get('aborted_no_route', 0))} no_route), "
+                    f"{int(row.get('budget_breaches', 0))} budget breaches"
+                )
+                continue
+            inv = row.get("invariants_ok", True)
+            measured = int(row.get("handovers_measured", 0))
+            unrec = int(row.get("unrecovered", 0))
+            line = (
+                f"  {proto}: {row.get('goodput_mbps', 0.0):.2f} Mbps, "
+                f"recovery mean/max "
+                f"{row.get('recovery_mean_ms', 0.0):.0f}/"
+                f"{row.get('recovery_max_ms', 0.0):.0f} ms, "
+                f"dip depth mean {row.get('dip_depth_mean', 0.0):.2f}"
+            )
+            if unrec:
+                line += f", {unrec}/{measured} handovers unrecovered"
+            line += (
+                ", invariants OK" if inv
+                else f", {int(row.get('invariant_violations', 0))}"
+                     " INVARIANT VIOLATIONS"
+            )
+            lines.append(line)
+    return "\n".join(lines)
+
+
 def run_summary(
     records: Sequence[dict],
     samples: Sequence[dict] = (),

@@ -148,11 +148,18 @@ class ConstellationRouter:
 
 @dataclass
 class PathSchedule:
-    """A sequence of route snapshots for one city pair."""
+    """A sequence of route snapshots for one city pair.
+
+    ``gaps`` records ``[start, end)`` intervals during which the pair had
+    no route at all (only populated when the schedule was computed with
+    ``on_gap="hold"``); during a gap :meth:`at` holds the last route that
+    existed, mirroring a forwarder whose FIB entry has gone stale.
+    """
 
     gs_a: str
     gs_b: str
     snapshots: list[PathSnapshot] = field(default_factory=list)
+    gaps: list[tuple[float, float]] = field(default_factory=list)
 
     def at(self, t: float) -> PathSnapshot:
         """The snapshot in force at time ``t`` (last one at or before)."""
@@ -196,13 +203,44 @@ def compute_path_schedule(
     duration_s: float,
     step_s: float = 1.0,
     t0: float = 0.0,
+    on_gap: str = "raise",
 ) -> PathSchedule:
-    """Sample the route between two cities every ``step_s`` seconds."""
+    """Sample the route between two cities every ``step_s`` seconds.
+
+    ``on_gap`` decides what happens when a slice has no route:
+
+    * ``"raise"`` (default) — propagate :class:`NoRouteError`, the strict
+      behaviour the figure experiments rely on;
+    * ``"hold"`` — record the outage in :attr:`PathSchedule.gaps` and keep
+      sampling; :meth:`PathSchedule.at` then holds the previous route
+      through the gap.  A pair with no route in *any* slice still raises.
+    """
     if duration_s <= 0 or step_s <= 0:
         raise ValueError("duration and step must be positive")
+    if on_gap not in ("raise", "hold"):
+        raise ValueError(f"on_gap must be 'raise' or 'hold', got {on_gap!r}")
     schedule = PathSchedule(gs_a, gs_b)
+    gap_start: Optional[float] = None
     t = t0
     while t < t0 + duration_s:
-        schedule.snapshots.append(router.route_at(t, gs_a, gs_b))
+        try:
+            snapshot = router.route_at(t, gs_a, gs_b)
+        except NoRouteError:
+            if on_gap == "raise":
+                raise
+            if gap_start is None:
+                gap_start = t
+        else:
+            if gap_start is not None:
+                schedule.gaps.append((gap_start, t))
+                gap_start = None
+            schedule.snapshots.append(snapshot)
         t += step_s
+    if gap_start is not None:
+        schedule.gaps.append((gap_start, t0 + duration_s))
+    if not schedule.snapshots:
+        raise NoRouteError(
+            f"no route {gs_a} -> {gs_b} in any slice of "
+            f"[{t0}, {t0 + duration_s})"
+        )
     return schedule

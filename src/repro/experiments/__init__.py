@@ -11,6 +11,7 @@ from repro.experiments import (
     constellation_study,
     ablation_vph,
     chaos_suite,
+    churn_study,
     fig01_bandwidth,
     fig02_plr_hops,
     fig03_owd_model,
@@ -26,6 +27,8 @@ from repro.experiments import (
     fig17_starlink_isl,
     fig18_city_pairs,
     fig19_cpu_overhead,
+    gateway_study,
+    multicast_study,
     related_snoop,
     table2_ablation,
     workload,
@@ -61,6 +64,9 @@ ALL_EXPERIMENTS = {
     "ablation_vph": ablation_vph.run,
     "ablation_params": ablation_parameters.run,
     "chaos": chaos_suite.run,
+    "churn": churn_study.run,
+    "gateway": gateway_study.run,
+    "multicast": multicast_study.run,
     "related_snoop": related_snoop.run,
     "constellation_study": constellation_study.run,
     "workload": workload.run,

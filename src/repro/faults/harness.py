@@ -192,18 +192,30 @@ def run_tcp_chaos(
     recovery_window_s: float = 5.0,
     recovery_fraction: float = 0.8,
     wall_timeout_s: Optional[float] = 120.0,
+    builder: Optional[Callable[[Simulator, RngRegistry], Any]] = None,
 ) -> ChaosResult:
     """Run one end-to-end TCP flow over the same faulted chain.
 
     The LEOTP invariant set does not apply (TCP's in-order delivery is
     structural), so the result carries recovery metrics only — the
     baseline the chaos suite compares LEOTP against.
+
+    ``builder`` mirrors :func:`run_leotp_chaos`'s hook: called as
+    ``builder(sim, rng)`` it must return a path exposing ``sender``,
+    ``recorder``, and ``links``; the chain-shape arguments are then
+    ignored.  This is how the churn experiment runs its TCP baseline
+    over the same geometry-driven chain as LEOTP.
     """
     sim = Simulator()
     rng = RngRegistry(seed)
-    if hops is None:
-        hops = uniform_chain_specs(n_hops, rate_bps=rate_bps, delay_s=delay_s, plr=plr)
-    path = build_e2e_tcp_path(sim, rng, list(hops), cc_name)
+    if builder is not None:
+        path = builder(sim, rng)
+    else:
+        if hops is None:
+            hops = uniform_chain_specs(
+                n_hops, rate_bps=rate_bps, delay_s=delay_s, plr=plr
+            )
+        path = build_e2e_tcp_path(sim, rng, list(hops), cc_name)
     injector = FaultInjector(sim, rng)
     injector.register_path(path)
     injector.arm(schedule)

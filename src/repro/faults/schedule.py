@@ -233,6 +233,64 @@ class FaultSchedule:
             end = max(end, event.at_s + (duration or 0.0))
         return end
 
+    def validate(self) -> "FaultSchedule":
+        """Reject schedules whose events would silently corrupt state.
+
+        Two events of the same kind on the same target whose active
+        windows overlap — or merely abut — break the save/restore pairing
+        inside the injector: the first event's restore fires after the
+        second event's apply and stomps it (e.g. a link marked UP while
+        its second outage is still running).  Negative times and
+        non-positive durations are already rejected by each event's own
+        ``__post_init__``; this catches the cross-event hazards.
+
+        :class:`DelaySpike` is exempt: its restore is delta-based and
+        documented to compose with concurrent retuning.  Returns ``self``
+        so it chains; :meth:`FaultInjector.arm` calls it automatically.
+        """
+        windows: dict[tuple[str, str], list[tuple[float, float, FaultEvent]]]
+        windows = {}
+
+        def record(key: tuple[str, str], start: float, end: float,
+                   event: FaultEvent) -> None:
+            windows.setdefault(key, []).append((start, end, event))
+
+        for event in self._events:
+            if isinstance(event, DelaySpike):
+                continue
+            if isinstance(event, LinkFlap):
+                for down in event.expand():
+                    record(("LinkDown", down.link), down.at_s,
+                           down.at_s + down.duration_s, event)
+            elif isinstance(event, NodeCrash):
+                end = (
+                    event.at_s + event.restart_after_s
+                    if event.restart_after_s is not None
+                    else float("inf")
+                )
+                record(("NodeCrash", event.node), event.at_s, end, event)
+            else:
+                link = getattr(event, "link", None)
+                duration = getattr(event, "duration_s", None)
+                if link is None or duration is None:
+                    continue
+                record((type(event).__name__, link), event.at_s,
+                       event.at_s + duration, event)
+
+        for (kind, target), intervals in sorted(windows.items()):
+            intervals.sort(key=lambda iv: (iv[0], iv[1]))
+            for (s1, e1, ev1), (s2, e2, ev2) in zip(
+                intervals[:-1], intervals[1:]
+            ):
+                if s2 <= e1:
+                    raise ValueError(
+                        f"overlapping {kind} events on {target!r}: "
+                        f"[{s1}, {e1}) from {ev1!r} collides with "
+                        f"[{s2}, {e2}) from {ev2!r}; merge them into one "
+                        f"event (restores would fire out of order)"
+                    )
+        return self
+
 
 # ----------------------------------------------------------------------
 # Injector
@@ -317,7 +375,14 @@ class FaultInjector:
     # -- arming ---------------------------------------------------------
 
     def arm(self, schedule: FaultSchedule) -> None:
-        """Schedule every event of ``schedule`` on the simulator."""
+        """Schedule every event of ``schedule`` on the simulator.
+
+        The schedule is validated first (see
+        :meth:`FaultSchedule.validate`), so internally-inconsistent
+        schedules fail loudly at arm time instead of silently
+        mis-restoring state mid-run.
+        """
+        schedule.validate()
         for event in schedule:
             if isinstance(event, LinkFlap):
                 for down in event.expand():

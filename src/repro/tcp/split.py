@@ -85,10 +85,16 @@ class SplitTcpPath:
         sender: TcpSender,
         proxies: list[SplitTcpProxy],
         receiver: TcpReceiver,
+        links: Optional[list] = None,
+        recorder: Optional[FlowRecorder] = None,
     ) -> None:
         self.sender = sender
         self.proxies = proxies
         self.receiver = receiver
+        # Exposed for the fault injector (hop targeting) and recovery
+        # metrics, so split paths work under the chaos harnesses too.
+        self.links = links if links is not None else []
+        self.recorder = recorder
 
     @property
     def total_proxy_backlog_bytes(self) -> int:
@@ -144,4 +150,4 @@ def build_split_tcp_path(
         proxy.receiver.out_link = links[i].ba
         proxy.sender.out_link = links[i + 1].ab
     receiver.out_link = links[-1].ba
-    return SplitTcpPath(sender, proxies, receiver)
+    return SplitTcpPath(sender, proxies, receiver, links, recorder)

@@ -38,6 +38,9 @@ class FlowRecord:
     start_s: float
     finish_s: Optional[float] = None
     aborted: bool = False
+    #: Why the flow aborted (``"admission"``, ``"no_route"``,
+    #: ``"unfinished"``, ...); ``None`` for completed flows.
+    abort_reason: Optional[str] = None
 
     @property
     def completed(self) -> bool:

@@ -74,15 +74,25 @@ class FlowPool:
         fairness_window_s: float = 1.0,
         access_rate_bps: float = 100e6,
         access_delay_s: float = 0.002,
+        name: str = "pool",
     ) -> None:
         if len(hops) < 1:
             raise ValueError("need at least one hop")
         if not 0.0 < cache_fraction < 1.0:
             raise ValueError("cache_fraction must be in (0, 1)")
+        if not name:
+            raise ValueError("pool name must be non-empty")
         self.sim = sim
         self.rng = rng
         self.spec = spec
         self.protocol = protocol
+        # ``name`` namespaces node names, flow ids, and the arrivals RNG
+        # stream, so several pools (e.g. one per city pair under churn)
+        # coexist in one simulator.  The default preserves the historic
+        # single-pool names ("pool-prod", "w00042", "workload:arrivals")
+        # bit-for-bit.
+        self.name = name
+        self._flow_prefix = "" if name == "pool" else f"{name}-"
         self.config = config if config is not None else LeotpConfig()
         self.access_rate_bps = access_rate_bps
         self.access_delay_s = access_delay_s
@@ -90,6 +100,7 @@ class FlowPool:
         self.fairness = FairnessTracker(fairness_window_s)
         self.records: list[FlowRecord] = []
         self._live: dict[str, FlowRecord] = {}
+        self._consumers: dict[str, Consumer] = {}  # live LEOTP endpoints
         self._delivered: dict[str, int] = {}  # TCP completion tracking
         # Counters.
         self.arrivals = 0
@@ -99,7 +110,12 @@ class FlowPool:
         self.peak_concurrency = 0
         self._finalized = False
 
-        demands = generate_demands(spec, rng.stream("workload:arrivals"))
+        arrivals_stream = (
+            "workload:arrivals"
+            if name == "pool"
+            else f"workload:{name}:arrivals"
+        )
+        demands = generate_demands(spec, rng.stream(arrivals_stream))
         self._demands = demands
         self._next_demand = 0
 
@@ -144,10 +160,10 @@ class FlowPool:
 
     def _build_leotp_chain(self, hops: Sequence[HopSpec]) -> None:
         self.producer = Producer(
-            self.sim, "pool-prod", self.config, content_bytes=None
+            self.sim, f"{self.name}-prod", self.config, content_bytes=None
         )
         self.midnodes = [
-            Midnode(self.sim, f"pool-mid{i}", self.config)
+            Midnode(self.sim, f"{self.name}-mid{i}", self.config)
             for i in range(len(hops))
         ]
         nodes = [self.producer, *self.midnodes]
@@ -161,7 +177,7 @@ class FlowPool:
 
     def _build_router_chain(self, hops: Sequence[HopSpec]) -> None:
         self.routers = [
-            Router(self.sim, f"pool-r{i}") for i in range(len(hops) + 1)
+            Router(self.sim, f"{self.name}-r{i}") for i in range(len(hops) + 1)
         ]
         self.links = build_chain(self.sim, self.routers, list(hops), self.rng)
         self.producer = None  # type: ignore[assignment]
@@ -189,7 +205,7 @@ class FlowPool:
         demand = self._demands[idx]
         self._next_demand = max(self._next_demand, idx + 1)
         self.arrivals += 1
-        flow_id = f"w{idx:05d}"
+        flow_id = f"{self._flow_prefix}w{idx:05d}"
         record = FlowRecord(
             flow_id=flow_id,
             arrival_s=demand.arrival_s,
@@ -202,6 +218,7 @@ class FlowPool:
         projected = (self.active_flows + 1) * self._flow_state_bytes
         if projected > self._flow_share_bytes:
             record.aborted = True
+            record.abort_reason = "admission"
             self.aborted += 1
             self.admission_rejects += 1
             if self.spec.closed_loop:
@@ -239,6 +256,7 @@ class FlowPool:
             name=f"access-{flow_id}",
         )
         consumer.out_link = access.ba
+        self._consumers[flow_id] = consumer
 
     def _spawn_tcp(self, flow_id: str, demand: FlowDemand) -> None:
         snd_name = f"{flow_id}-snd"
@@ -311,12 +329,47 @@ class FlowPool:
         if self.spec.closed_loop:
             self._spawn_next()
 
+    def abort_flow(self, flow_id: str, reason: str = "aborted") -> bool:
+        """Abort one live flow, recording ``reason`` (e.g. ``"no_route"``).
+
+        The flow's record is finalised as aborted, its soft state retired
+        from every shared node, and (LEOTP) its Consumer quiesced via
+        ``stop_time`` so it stops re-requesting into a dead route.  Under
+        closed-loop admission the freed slot spawns the next demand, like
+        a completion would.  Returns False if the flow is not live.
+        """
+        record = self._live.pop(flow_id, None)
+        if record is None:
+            return False
+        record.aborted = True
+        record.abort_reason = reason
+        record.finish_s = self.sim.now
+        self.aborted += 1
+        consumer = self._consumers.get(flow_id)
+        if consumer is not None:
+            consumer.stop_time = self.sim.now
+        self._retire(flow_id)
+        self.budget.set_account(
+            "flows", self.active_flows * self._flow_state_bytes
+        )
+        if self.spec.closed_loop:
+            self._spawn_next()
+        return True
+
+    def abort_live(self, reason: str = "aborted") -> int:
+        """Abort every live flow (deterministic order); returns the count."""
+        flow_ids = sorted(self._live)
+        for flow_id in flow_ids:
+            self.abort_flow(flow_id, reason)
+        return len(flow_ids)
+
     def _retire(self, flow_id: str) -> None:
         """Release the flow's soft state from every shared node."""
         if self.protocol == LEOTP:
             for mid in self.midnodes:
                 mid.retire_flow(flow_id)
             self.producer.retire_flow(flow_id)
+            self._consumers.pop(flow_id, None)
         else:
             self._delivered.pop(flow_id, None)
             snd_name = f"{flow_id}-snd"
@@ -334,9 +387,16 @@ class FlowPool:
             self._timeline.stop()
         for flow_id, record in list(self._live.items()):
             record.aborted = True
+            record.abort_reason = "unfinished"
             self.aborted += 1
             self._retire(flow_id)
         self._live.clear()
+        # An Interest in flight when its flow was aborted can reach a
+        # responder after retirement and rebuild the (soft, on-demand)
+        # per-flow state; sweep every recorded flow once more so nothing
+        # outlives the run.
+        for record in self.records:
+            self._retire(record.flow_id)
         self.budget.set_account("flows", 0)
 
     # ------------------------------------------------------------------
@@ -345,7 +405,7 @@ class FlowPool:
 
     def attach_samplers(self, interval_s: Optional[float] = None) -> str:
         """Register pool-level samplers (occupancy, memory) with METRICS."""
-        run = METRICS.new_run(f"pool:{self.protocol}")
+        run = METRICS.new_run(f"{self.name}:{self.protocol}")
         samplers = {
             "pool.active_flows": ("pool", lambda: float(self.active_flows)),
             "pool.completed": ("pool", lambda: float(self.completed)),
@@ -377,6 +437,14 @@ class FlowPool:
             "budget_peak_bytes": float(self.budget.peak_bytes),
             "budget_breaches": float(self.budget.breaches),
         }
+        reasons: dict[str, int] = {}
+        for record in self.records:
+            if record.aborted and record.abort_reason is not None:
+                reasons[record.abort_reason] = (
+                    reasons.get(record.abort_reason, 0) + 1
+                )
+        for reason in sorted(reasons):
+            out[f"aborted_{reason}"] = float(reasons[reason])
         if self.cache_pool is not None:
             out["cache_pool_evictions"] = float(self.cache_pool.pool_evictions)
             out["cache_pool_evicted_bytes"] = float(

@@ -100,7 +100,8 @@ class TestRegistry:
             "fig01", "fig02", "fig03", "fig04", "fig05", "fig10", "fig11",
             "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
             "fig19", "table2", "ablation_vph", "ablation_params",
-            "related_snoop", "constellation_study", "chaos", "workload",
+            "related_snoop", "constellation_study", "chaos", "churn",
+            "gateway", "multicast", "workload",
         }
         assert set(ALL_EXPERIMENTS) == expected
 
@@ -118,6 +119,41 @@ class TestRegistry:
     def test_fig01_smoke(self):
         res = ALL_EXPERIMENTS["fig01"](scale=0.05)
         assert len(res.rows) == 9
+
+    def test_gateway_smoke(self):
+        res = ALL_EXPERIMENTS["gateway"](scale=0.1)
+        assert [row["protocol"] for row in res.rows] == [
+            "gateway-cubic", "e2e-cubic", "leotp",
+        ]
+        gw = res.filtered(protocol="gateway-cubic")[0]
+        e2e = res.filtered(protocol="e2e-cubic")[0]
+        # The deployment claim: bridging beats end-to-end TCP over the
+        # lossy LEO segment.
+        assert gw["delivered_mbytes"] > e2e["delivered_mbytes"]
+
+    def test_multicast_smoke(self):
+        res = ALL_EXPERIMENTS["multicast"](scale=0.1)
+        simultaneous = [row for row in res.rows if row["stagger_s"] == 0.0]
+        assert [row["n_consumers"] for row in simultaneous] == [2, 4, 8]
+        for row in simultaneous:
+            assert row["all_finished"]
+            # One upstream copy serves everyone: strictly below unicast.
+            assert row["upstream_copies"] < row["n_consumers"]
+        staggered = [row for row in res.rows if row["stagger_s"] > 0.0][0]
+        assert staggered["cache_hits"] > 0
+
+    def test_churn_smoke(self):
+        # Shape + invariants only; the acceptance-level run (>= 10
+        # handovers, bit-identity under --jobs 2) is the nightly CI job.
+        res = ALL_EXPERIMENTS["churn"](scale=0.2)
+        assert res.rows, res.notes
+        protos = {row["protocol"] for row in res.rows}
+        assert protos == {"leotp", "split-bbr", "bbr", "leotp-pool"}
+        for row in res.rows:
+            assert row["handovers"] >= 1
+            if row["protocol"] != "leotp-pool":
+                assert row["invariants_ok"]
+                assert row["handovers_measured"] >= 1
 
     def test_fig03_smoke(self):
         res = ALL_EXPERIMENTS["fig03"](scale=0.05)

@@ -74,6 +74,72 @@ class TestFaultSchedule:
         assert s.last_fault_end_s == pytest.approx(6.0)  # flap ends last
 
 
+class TestScheduleValidate:
+    def test_overlapping_same_link_rejected(self):
+        s = FaultSchedule([
+            LinkDown(at_s=1.0, link="x", duration_s=2.0),
+            LinkDown(at_s=2.0, link="x", duration_s=1.0),
+        ])
+        with pytest.raises(ValueError, match="overlapping LinkDown"):
+            s.validate()
+
+    def test_abutting_same_link_rejected(self):
+        # Abutting windows mis-restore too: at equal timestamps the
+        # second down's apply is armed before the first's back-up.
+        s = FaultSchedule([
+            LinkDown(at_s=1.0, link="x", duration_s=1.0),
+            LinkDown(at_s=2.0, link="x", duration_s=1.0),
+        ])
+        with pytest.raises(ValueError):
+            s.validate()
+
+    def test_disjoint_and_cross_target_pass(self):
+        s = FaultSchedule([
+            LinkDown(at_s=1.0, link="x", duration_s=0.5),
+            LinkDown(at_s=2.0, link="x", duration_s=0.5),
+            LinkDown(at_s=1.0, link="y", duration_s=5.0),  # other link
+            LossBurst(at_s=1.0, link="x", duration_s=5.0),  # other kind
+        ])
+        assert s.validate() is s
+
+    def test_flap_expansion_collides_with_plain_down(self):
+        s = FaultSchedule([
+            LinkFlap(at_s=1.0, link="x", down_s=0.2, up_s=0.3, cycles=3),
+            LinkDown(at_s=1.6, link="x", duration_s=0.1),  # inside cycle 2
+        ])
+        with pytest.raises(ValueError):
+            s.validate()
+
+    def test_delay_spikes_exempt(self):
+        # DelaySpike restores a delta, which composes; overlap is legal.
+        s = FaultSchedule([
+            DelaySpike(at_s=1.0, link="x", duration_s=2.0, extra_s=0.1),
+            DelaySpike(at_s=2.0, link="x", duration_s=2.0, extra_s=0.1),
+        ])
+        assert s.validate() is s
+
+    def test_unbounded_crash_overlaps_everything_later(self):
+        s = FaultSchedule([
+            NodeCrash(at_s=1.0, node="n", restart_after_s=None),
+            NodeCrash(at_s=50.0, node="n", restart_after_s=1.0),
+        ])
+        with pytest.raises(ValueError, match="NodeCrash"):
+            s.validate()
+
+    def test_arm_validates(self):
+        sim = Simulator()
+        sink = SinkNode(sim)
+        link = make_link(sim, sink)
+        injector = FaultInjector(sim, RngRegistry(0))
+        injector.register_link("l", link)
+        bad = FaultSchedule([
+            LinkDown(at_s=1.0, link="l", duration_s=1.0),
+            LinkDown(at_s=1.5, link="l", duration_s=1.0),
+        ])
+        with pytest.raises(ValueError):
+            injector.arm(bad)
+
+
 class TestGilbertElliott:
     def test_deterministic_per_stream(self):
         def drops(seed):

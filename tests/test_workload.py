@@ -320,6 +320,130 @@ class TestFlowPool:
                 sim, RngRegistry(0), spec=_poisson_spec(),
                 hops=uniform_chain_specs(2), cache_fraction=1.5,
             )
+        with pytest.raises(ValueError):
+            FlowPool(
+                sim, RngRegistry(0), spec=_poisson_spec(),
+                hops=uniform_chain_specs(2), name="",
+            )
+
+
+class TestFlowAborts:
+    def _mid_run_pool(self, *, abort_at, action, n_flows=60,
+                      rate_per_s=60.0, **pool_kwargs):
+        spec = _poisson_spec(
+            n_flows=n_flows, rate_per_s=rate_per_s,
+            mean_size_bytes=20_000, max_size_bytes=80_000,
+        )
+        sim = Simulator()
+        pool = FlowPool(
+            sim, RngRegistry(0), spec=spec,
+            hops=uniform_chain_specs(2, rate_bps=20e6, delay_s=0.004),
+            protocol="leotp", **pool_kwargs,
+        )
+        sim.schedule_at(abort_at, action, pool)
+        sim.run(until=n_flows / rate_per_s + 6.0)
+        pool.finalize()
+        return pool
+
+    def test_abort_live_records_reason(self):
+        aborted = {}
+
+        def act(pool):
+            aborted["n"] = pool.abort_live("no_route")
+
+        pool = self._mid_run_pool(abort_at=0.5, action=act)
+        assert aborted["n"] > 0
+        summary = pool.summary()
+        assert summary["aborted"] >= aborted["n"]
+        assert summary["aborted_no_route"] == aborted["n"]
+        records = [
+            r for r in pool.records if r.abort_reason == "no_route"
+        ]
+        assert len(records) == aborted["n"]
+        for record in records:
+            assert record.aborted and not record.completed
+            assert record.finish_s == pytest.approx(0.5)
+
+    def test_abort_does_not_kill_the_run(self):
+        """A transient routing gap aborts affected flows; later arrivals
+        still complete and shared nodes carry no dead soft state."""
+
+        def act(pool):
+            pool.abort_live("no_route")
+
+        pool = self._mid_run_pool(abort_at=0.3, action=act)
+        summary = pool.summary()
+        assert summary["completed"] > 0
+        assert (
+            summary["arrivals"]
+            == summary["completed"] + summary["aborted"]
+        )
+        assert pool.producer._senders == {}
+        for mid in pool.midnodes:
+            assert mid._flows == {}
+
+    def test_abort_unknown_flow_returns_false(self):
+        sim = Simulator()
+        pool = FlowPool(
+            sim, RngRegistry(0), spec=_poisson_spec(),
+            hops=uniform_chain_specs(2),
+        )
+        assert pool.abort_flow("w99999") is False
+
+    def test_admission_and_unfinished_reasons_recorded(self):
+        pool = _run_pool(
+            n_flows=200, rate_per_s=2000.0, ceiling=100_000,
+            cache_fraction=0.97, drain_s=-0.05,
+        )
+        summary = pool.summary()
+        assert summary.get("aborted_admission", 0) > 0
+        by_reason = {}
+        for record in pool.records:
+            if record.abort_reason:
+                by_reason.setdefault(record.abort_reason, 0)
+                by_reason[record.abort_reason] += 1
+        assert by_reason.get("admission") == summary["aborted_admission"]
+
+    def test_named_pool_namespaces_everything(self):
+        spec = _poisson_spec(n_flows=10, rate_per_s=50.0)
+        sim = Simulator()
+        pool = FlowPool(
+            sim, RngRegistry(0), spec=spec,
+            hops=uniform_chain_specs(2), name="bjpr",
+        )
+        assert pool.producer.name == "bjpr-prod"
+        assert all(m.name.startswith("bjpr-mid") for m in pool.midnodes)
+        sim.run(until=1.0)
+        assert all(fid.startswith("bjpr-w") for fid in pool._live)
+
+    def test_two_named_pools_share_one_simulator(self):
+        spec = _poisson_spec(n_flows=30, rate_per_s=60.0)
+        sim = Simulator()
+        rng = RngRegistry(0)
+        hops = uniform_chain_specs(2, rate_bps=20e6, delay_s=0.004)
+        pools = [
+            FlowPool(sim, rng, spec=spec, hops=hops, name=name)
+            for name in ("east", "west")
+        ]
+        sim.run(until=5.0)
+        for pool in pools:
+            pool.finalize()
+            assert pool.summary()["completed"] >= 0.9 * 30
+
+    def test_default_name_preserves_flow_ids(self):
+        # Bit-identity guard: the unnamed pool must keep the historical
+        # un-prefixed flow ids ("w00000") and node names ("pool-prod").
+        sim = Simulator()
+        pool = FlowPool(
+            sim, RngRegistry(0),
+            spec=_poisson_spec(n_flows=5, rate_per_s=100.0),
+            hops=uniform_chain_specs(2),
+        )
+        sim.run(until=1.0)
+        pool.finalize()
+        assert pool.name == "pool"
+        assert pool.producer.name == "pool-prod"
+        assert all(r.flow_id.startswith("w000") for r in pool.records)
 
 
 class TestWorkloadExperiment:
