@@ -1,17 +1,27 @@
-"""Diff two pytest-benchmark JSON files and gate on regressions.
+"""Diff pytest-benchmark JSON files and gate on regressions.
 
 Usage::
 
     python benchmarks/compare.py BASELINE.json NEW.json [--threshold 0.15]
+    python benchmarks/compare.py \
+        --pair BENCH_kernel_baseline.json bench_kernel.json \
+        --pair BENCH_shard_baseline.json bench_shard.json
 
-Benchmarks are matched by name.  For each pair the mean runtimes are
-compared; the exit status is 1 if any benchmark present in both files
-slowed down by more than ``--threshold`` (default 15 %).  Speedups and
-new/removed benchmarks are reported but never fail the gate.
+Benchmarks are matched by name within each baseline/new pair.  For each
+match the mean runtimes are compared; the exit status is 1 if any
+benchmark present in both files of any pair slowed down by more than
+``--threshold`` (default 15 %).  Speedups and new/removed benchmarks
+are reported but never fail the gate.
 
-This is the regression fence for the perf trajectory recorded in
-``BENCH_kernel.json`` (see benchmarks/test_bench_kernel.py) and the CI
-benchmark smoke job.
+``--pair BASE NEW`` is repeatable, so one invocation gates the whole
+perf surface (kernel + workload + shard) — that is how the CI
+benchmarks job calls it.  The two-positional form remains for single
+comparisons.
+
+This is the regression fence for the perf trajectories recorded in
+``BENCH_kernel.json`` / ``BENCH_shard.json`` (see
+benchmarks/test_bench_kernel.py, benchmarks/test_bench_shard.py) and
+the CI benchmark smoke job.
 """
 
 from __future__ import annotations
@@ -86,26 +96,52 @@ def compare(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="baseline pytest-benchmark JSON")
-    parser.add_argument("new", help="candidate pytest-benchmark JSON")
+    parser.add_argument(
+        "baseline", nargs="?", help="baseline pytest-benchmark JSON"
+    )
+    parser.add_argument(
+        "new", nargs="?", help="candidate pytest-benchmark JSON"
+    )
+    parser.add_argument(
+        "--pair", nargs=2, action="append", default=[],
+        metavar=("BASELINE", "NEW"),
+        help="a baseline/candidate pair to gate; repeatable — all pairs "
+             "are compared and any regression fails the run",
+    )
     parser.add_argument(
         "--threshold", type=float, default=0.15,
         help="allowed slowdown fraction before failing (default 0.15)",
     )
     args = parser.parse_args(argv)
 
-    table, regressions = compare(
-        load_benchmarks(args.baseline), load_benchmarks(args.new),
-        args.threshold,
-    )
-    print(table)
-    if regressions:
-        print(f"\n{len(regressions)} regression(s) beyond "
+    pairs = [tuple(p) for p in args.pair]
+    if args.baseline is not None:
+        if args.new is None:
+            parser.error("positional usage needs both BASELINE and NEW")
+        pairs.append((args.baseline, args.new))
+    if not pairs:
+        parser.error("nothing to compare: give BASELINE NEW or --pair")
+
+    all_regressions: list[str] = []
+    for baseline_path, new_path in pairs:
+        if len(pairs) > 1:
+            print(f"== {baseline_path} vs {new_path} ==")
+        table, regressions = compare(
+            load_benchmarks(baseline_path), load_benchmarks(new_path),
+            args.threshold,
+        )
+        print(table)
+        if len(pairs) > 1:
+            print()
+        all_regressions.extend(regressions)
+    if all_regressions:
+        print(f"\n{len(all_regressions)} regression(s) beyond "
               f"{args.threshold:.0%}:", file=sys.stderr)
-        for msg in regressions:
+        for msg in all_regressions:
             print(f"  {msg}", file=sys.stderr)
         return 1
-    print("\nno regressions beyond the threshold")
+    print("no regressions beyond the threshold"
+          if len(pairs) > 1 else "\nno regressions beyond the threshold")
     return 0
 
 

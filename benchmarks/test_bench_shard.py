@@ -1,0 +1,58 @@
+"""Benchmark: the sharded engine, serial and parallel.
+
+Times :func:`repro.shard.run_sharded` on a reduced 16-shard plan — the
+same shape as the ``workload_sharded`` experiment, fewer flows per
+shard.  Two figures ride in ``extra_info``: the deterministic event
+count and the aggregate events/s, so the committed JSON doubles as the
+sharding perf trajectory.  The parallel figure depends on host load and
+core count; the serial one is the stable regression fence.
+
+Baseline: ``BENCH_shard_baseline.json`` (repo root), captured at this
+benchmark's introduction; current numbers live in ``BENCH_shard.json``.
+Gate with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_shard.py \
+        --benchmark-only --benchmark-json=new.json
+    python benchmarks/compare.py --pair BENCH_shard_baseline.json new.json
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.shard import ShardPlan, run_sharded
+
+_TINY = os.environ.get("LEOTP_BENCH_TINY") == "1"
+ARRIVALS_PER_SHARD = 24 if _TINY else 120
+
+
+def _plan() -> ShardPlan:
+    return ShardPlan(
+        n_shards=16, arrivals_per_shard=ARRIVALS_PER_SHARD, drain_s=4.0
+    )
+
+
+def _attach(benchmark, out: dict) -> None:
+    total = out["rows"][-1]
+    benchmark.extra_info["completed"] = total["completed"]
+    benchmark.extra_info["events"] = out["events_executed"]
+    benchmark.extra_info["events_per_s"] = round(out["events_per_s"])
+    benchmark.extra_info["jobs"] = out["jobs"]
+
+
+def test_bench_shard_serial(benchmark):
+    out = benchmark.pedantic(
+        run_sharded, args=(_plan(),), kwargs={"jobs": 1},
+        rounds=1, iterations=1,
+    )
+    _attach(benchmark, out)
+    assert out["completed"] == 16 * ARRIVALS_PER_SHARD
+
+
+def test_bench_shard_jobs4(benchmark):
+    out = benchmark.pedantic(
+        run_sharded, args=(_plan(),), kwargs={"jobs": 4},
+        rounds=1, iterations=1,
+    )
+    _attach(benchmark, out)
+    assert out["completed"] == 16 * ARRIVALS_PER_SHARD

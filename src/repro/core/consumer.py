@@ -279,6 +279,7 @@ class Consumer(Node):
             return
         if packet.is_header:
             self._on_vph(packet)
+            packet.release()
             return
         now = self.sim.now
         rng = packet.range
@@ -336,6 +337,9 @@ class Consumer(Node):
                 )
             if self.on_complete is not None:
                 self.on_complete(self)
+        # Terminal hop: the stamped copy delivered here has no other
+        # holder (retained state is the ByteRange, not the packet).
+        packet.release()
 
     def _on_vph(self, packet: DataPacket) -> None:
         """A hole notification: in-network repair is under way, so push the

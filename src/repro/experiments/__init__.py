@@ -32,6 +32,7 @@ from repro.experiments import (
     related_snoop,
     table2_ablation,
     workload,
+    workload_sharded,
 )
 from repro.experiments.common import (
     ExperimentResult,
@@ -70,6 +71,7 @@ ALL_EXPERIMENTS = {
     "related_snoop": related_snoop.run,
     "constellation_study": constellation_study.run,
     "workload": workload.run,
+    "workload_sharded": workload_sharded.run,
 }
 
 __all__ = [

@@ -55,6 +55,11 @@ def main(argv: list[str] | None = None) -> int:
              "rows are bit-identical to the serial run",
     )
     parser.add_argument(
+        "--shard-jobs", type=int, default=None, metavar="N",
+        help="worker processes inside sharded experiments (sets "
+             "LEOTP_SHARD_JOBS; rows are bit-identical for any value)",
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help="cProfile each experiment, dumping results/profiles/<id>.pstats",
     )
@@ -82,6 +87,8 @@ def main(argv: list[str] | None = None) -> int:
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    if args.shard_jobs is not None:
+        os.environ["LEOTP_SHARD_JOBS"] = str(args.shard_jobs)
     profile_dir = "results/profiles" if args.profile else None
     observe = args.trace or args.trace_out is not None or args.metrics_out is not None
     if args.trace_out is not None and len(names) > 1:

@@ -120,7 +120,12 @@ class Link:
         self._queue: deque[Packet] = deque()
         self._queued_bytes = 0
         self._busy = False
-        self._inflight_events: dict[int, object] = {}
+        # In-flight deliveries are fire-and-forget (no Event objects): each
+        # carries the flush generation it departed under, and bumping
+        # ``_flush_gen`` invalidates the whole in-flight cohort at once —
+        # batch cancellation without per-event handles or heap zombie scans.
+        self._inflight_count = 0
+        self._flush_gen = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -179,17 +184,19 @@ class Link:
         self._account_queue_change()
         dropped = len(self._queue)
         self.stats.packets_dropped_flush += dropped
-        if TRACER.enabled:
-            for pkt in self._queue:
+        for pkt in self._queue:
+            if TRACER.enabled:
                 _trace_drop(self, pkt, "flush")
+            pkt.release()  # the queue held the last reference
         self._queue.clear()
         self._queued_bytes = 0
         if drop_inflight:
-            for event in self._inflight_events.values():
-                event.cancel()  # type: ignore[attr-defined]
-            dropped += len(self._inflight_events)
-            self.stats.packets_dropped_flush += len(self._inflight_events)
-            self._inflight_events.clear()
+            # Batch invalidation: every delivery scheduled under the old
+            # generation becomes a no-op when it fires (see _deliver).
+            dropped += self._inflight_count
+            self.stats.packets_dropped_flush += self._inflight_count
+            self._inflight_count = 0
+            self._flush_gen += 1
         return dropped
 
     # ------------------------------------------------------------------
@@ -237,9 +244,12 @@ class Link:
             self.stats.packets_dropped_loss += 1
             if TRACER.enabled:
                 _trace_drop(self, packet, "loss")
+            packet.release()  # corrupted en route: nobody downstream sees it
         else:
-            event = self.sim.schedule(self.delay_s, self._deliver, packet)
-            self._inflight_events[packet.uid] = event
+            self._inflight_count += 1
+            self.sim.schedule_call(
+                self.delay_s, self._deliver, packet, self._flush_gen
+            )
         # Pull the next packet from the queue, if any.
         if self._queue:
             self._account_queue_change()
@@ -249,8 +259,13 @@ class Link:
         else:
             self._busy = False
 
-    def _deliver(self, packet: Packet) -> None:
-        self._inflight_events.pop(packet.uid, None)
+    def _deliver(self, packet: Packet, gen: int) -> None:
+        if gen != self._flush_gen:
+            # Departed before a drop_inflight flush: already accounted as
+            # dropped there; the stale callback just reclaims the packet.
+            packet.release()
+            return
+        self._inflight_count -= 1
         self.stats.packets_delivered += 1
         self.stats.bytes_delivered += packet.size_bytes
         packet.hops += 1

@@ -1,0 +1,32 @@
+"""Sharded parallel simulation engine (DESIGN.md §13).
+
+Partitions a constellation-scale workload into weakly-coupled shards —
+one per ground-station pair, each owning its chain, FlowPool, faults,
+and tracer slice — and simulates them in parallel processes with a
+deterministic bulk-synchronous exchange of small cross-shard state
+(cache-pool occupancy, gateway backlog, memory-budget ledger) at fixed
+epoch boundaries.  Results are bit-identical for any ``jobs`` value.
+"""
+
+from repro.shard.engine import run_sharded
+from repro.shard.exchange import (
+    ExchangeSignal,
+    ShardReport,
+    apportion,
+    compute_exchange,
+    initial_allocations,
+    ledger_row,
+)
+from repro.shard.plan import MIN_CACHE_ALLOC_BYTES, ShardPlan
+
+__all__ = [
+    "MIN_CACHE_ALLOC_BYTES",
+    "ExchangeSignal",
+    "ShardPlan",
+    "ShardReport",
+    "apportion",
+    "compute_exchange",
+    "initial_allocations",
+    "ledger_row",
+    "run_sharded",
+]

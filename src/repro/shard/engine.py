@@ -1,0 +1,144 @@
+"""The bulk-synchronous sharded simulation engine.
+
+:func:`run_sharded` drives a :class:`~repro.shard.plan.ShardPlan` to
+completion: shards are partitioned into ``jobs`` groups (shard ``i`` in
+group ``i % jobs``), each group is pinned to its own single-worker
+:class:`~concurrent.futures.ProcessPoolExecutor` so its live simulator
+state stays resident in one process for the whole run, and all groups
+advance epoch by epoch with a barrier between epochs:
+
+1. every group applies the previous exchange's cache allocations and
+   simulates its shards up to the epoch boundary;
+2. the engine gathers one :class:`~repro.shard.exchange.ShardReport`
+   per shard and folds them — sorted by shard index, integers only —
+   into the next :class:`~repro.shard.exchange.ExchangeSignal`.
+
+Because each shard's trajectory depends only on ``(plan, shard_index)``
+and the exchange signal, and the signal is a pure function of the sorted
+reports, the run's results are bit-identical for every ``jobs`` value —
+``jobs=1`` executes the same task functions inline without any executor.
+The per-epoch ledger (allocations, occupancy, boundary evictions,
+aggregate backlog) is returned alongside the result rows so tests can
+check conservation instead of trusting it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.shard.exchange import (
+    ShardReport,
+    compute_exchange,
+    initial_allocations,
+    ledger_row,
+)
+from repro.shard.plan import ShardPlan
+from repro.shard.worker import drop_run, finalize_group, run_group_epoch
+
+_run_counter = itertools.count()
+
+
+def _groups(n_shards: int, jobs: int) -> list[list[int]]:
+    """Shard-to-group assignment: shard ``i`` belongs to group ``i % jobs``."""
+    jobs = max(1, min(jobs, n_shards))
+    return [
+        [i for i in range(n_shards) if i % jobs == g] for g in range(jobs)
+    ]
+
+
+def run_sharded(plan: ShardPlan, jobs: int = 1, observe: bool = False) -> dict:
+    """Run a sharded workload; returns rows, the exchange ledger, totals.
+
+    ``jobs`` is purely an execution knob: any value (clamped to
+    ``[1, n_shards]``) produces bit-identical ``rows`` and ``ledger``.
+    Wall-clock figures (``wall_s``, ``events_per_s``) are reported next
+    to — never inside — the deterministic payload.
+    """
+    groups = _groups(plan.n_shards, jobs)
+    run_token = f"{os.getpid()}-{next(_run_counter)}"
+    allocations = initial_allocations(plan)
+    ledger: list[dict] = []
+    started = time.perf_counter()
+
+    executors: list[ProcessPoolExecutor] = []
+    if len(groups) > 1:
+        executors = [
+            ProcessPoolExecutor(max_workers=1) for _ in groups
+        ]
+    try:
+        for epoch in range(plan.n_epochs):
+            if executors:
+                futures = [
+                    ex.submit(
+                        run_group_epoch,
+                        plan, run_token, group, epoch, allocations, observe,
+                    )
+                    for ex, group in zip(executors, groups)
+                ]
+                reports: list[ShardReport] = [
+                    r for f in futures for r in f.result()
+                ]
+            else:
+                reports = run_group_epoch(
+                    plan, run_token, groups[0], epoch, allocations, observe
+                )
+            signal = compute_exchange(plan, reports)
+            ledger.append(ledger_row(reports, signal))
+            allocations = signal.allocations
+
+        if executors:
+            futures = [
+                ex.submit(finalize_group, plan, run_token, group)
+                for ex, group in zip(executors, groups)
+            ]
+            finals = [item for f in futures for item in f.result()]
+        else:
+            finals = finalize_group(plan, run_token, groups[0])
+    finally:
+        if executors:
+            for ex in executors:
+                ex.shutdown(wait=True)
+        else:
+            drop_run(run_token)
+    wall_s = time.perf_counter() - started
+
+    finals.sort(key=lambda item: item[0])
+    rows = [row for _, row, _ in finals]
+    trace_counts: dict[str, int] = {}
+    for _, _, counts in finals:
+        for event, n in counts.items():
+            trace_counts[event] = trace_counts.get(event, 0) + n
+
+    total_events = sum(row["events"] for row in rows)
+    total_completed = sum(row["completed"] for row in rows)
+    n = len(rows)
+    rows.append({
+        "shard": "total",
+        "faulted": sum(1 for row in rows if row["faulted"]),
+        "arrivals": sum(row["arrivals"] for row in rows),
+        "completed": total_completed,
+        "aborted": sum(row["aborted"] for row in rows),
+        "peak_conc": max(row["peak_conc"] for row in rows),
+        "fct_p50_ms": sum(row["fct_p50_ms"] for row in rows) / n,
+        "fct_p90_ms": sum(row["fct_p90_ms"] for row in rows) / n,
+        "fct_p99_ms": sum(row["fct_p99_ms"] for row in rows) / n,
+        "goodput_kBs": sum(row["goodput_kBs"] for row in rows) / n,
+        "budget_peak_MiB": sum(row["budget_peak_MiB"] for row in rows),
+        "budget_breaches": sum(row["budget_breaches"] for row in rows),
+        "cache_evictions": sum(row["cache_evictions"] for row in rows),
+        "admission_rejects": sum(row["admission_rejects"] for row in rows),
+        "events": total_events,
+    })
+    return {
+        "rows": rows,
+        "ledger": ledger,
+        "trace_counts": trace_counts if observe else None,
+        "events_executed": total_events,
+        "completed": total_completed,
+        "jobs": len(groups),
+        "wall_s": wall_s,
+        "events_per_s": total_events / wall_s if wall_s > 0 else 0.0,
+    }

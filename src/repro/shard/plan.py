@@ -1,0 +1,131 @@
+"""Shard plans: how a constellation-scale workload splits into shards.
+
+A :class:`ShardPlan` describes one sharded run declaratively: how many
+ground-station-pair shards, the per-shard chain and workload, the epoch
+length of the bulk-synchronous exchange, and the *global* cache budget
+that the exchange re-apportions across shards.  The plan is a frozen,
+picklable value — worker processes rebuild identical shard state from
+``(plan, shard_index)`` alone, which is the first half of the
+determinism argument (see DESIGN.md §13; the second half is that the
+exchange signal is a pure function of the sorted shard reports).
+
+Shard seeds are derived, not shared: shard ``i`` simulates with
+``seed * 10_007 + i``, so shards draw from disjoint deterministic RNG
+streams and the *same* shard always sees the same randomness no matter
+which worker process it lands on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.netsim.topology import HopSpec, uniform_chain_specs
+from repro.workload.arrivals import WorkloadSpec
+
+#: Cache bytes no shard can be apportioned below (one pool's worth of
+#: floor keeps a momentarily-idle shard from being starved to zero and
+#: then thrashing on its next burst).
+MIN_CACHE_ALLOC_BYTES = 64 << 10
+
+
+@dataclass(frozen=True, kw_only=True)
+class ShardPlan:
+    """Declarative description of one sharded workload run.
+
+    Defaults mirror the ``workload`` experiment's chain and traffic so
+    per-shard behaviour stays comparable with the single-process
+    experiment; only the population is new — ``n_shards`` independent
+    ground-station pairs instead of one.
+    """
+
+    n_shards: int = 16
+    seed: int = 0
+    # Per-shard workload (one ground-station pair's traffic).
+    arrivals_per_shard: int = 650
+    arrival_rate_per_s: float = 150.0
+    mean_size_bytes: int = 12_000
+    size_sigma: float = 1.2
+    max_size_bytes: int = 200_000
+    # Per-shard chain.
+    n_hops: int = 5
+    hop_rate_bps: float = 20e6
+    hop_delay_s: float = 0.008
+    # Per-shard memory: admission ceiling and the cache slice that seeds
+    # the global pool (the exchange re-apportions the *sum* of slices).
+    memory_ceiling_bytes: int = 8 << 20
+    cache_fraction: float = 0.75
+    # BSP exchange cadence and post-arrival drain.
+    epoch_s: float = 0.5
+    drain_s: float = 8.0
+    # Every ``fault_every``-th shard (index % fault_every == fault_phase)
+    # suffers a mid-chain blackout, so recovery traffic is part of the
+    # steady-state the engine must keep deterministic.  0 disables faults.
+    fault_every: int = 4
+    fault_phase: int = 2
+    fault_at_s: float = 1.0
+    fault_duration_s: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("need at least one shard")
+        if self.arrivals_per_shard < 1:
+            raise ValueError("need at least one arrival per shard")
+        if self.epoch_s <= 0:
+            raise ValueError("epoch length must be positive")
+        if not 0.0 < self.cache_fraction < 1.0:
+            raise ValueError("cache_fraction must be in (0, 1)")
+
+    # -- derived geometry ----------------------------------------------
+
+    @property
+    def horizon_s(self) -> float:
+        """Simulated end time: the arrival window plus the drain."""
+        return self.arrivals_per_shard / self.arrival_rate_per_s + self.drain_s
+
+    @property
+    def n_epochs(self) -> int:
+        return max(1, math.ceil(self.horizon_s / self.epoch_s))
+
+    @property
+    def shard_cache_bytes(self) -> int:
+        """One shard's cache slice before any exchange re-apportionment."""
+        return int(self.memory_ceiling_bytes * self.cache_fraction)
+
+    @property
+    def global_cache_bytes(self) -> int:
+        """The conserved quantity: total cache bytes across all shards."""
+        return self.shard_cache_bytes * self.n_shards
+
+    def shard_seed(self, index: int) -> int:
+        """Disjoint deterministic seed for shard ``index``."""
+        return self.seed * 10_007 + index
+
+    def shard_name(self, index: int) -> str:
+        return f"s{index:02d}"
+
+    def epoch_end_s(self, epoch: int) -> float:
+        """Simulated time the given epoch runs up to (last epoch: horizon)."""
+        return min((epoch + 1) * self.epoch_s, self.horizon_s)
+
+    def workload_spec(self) -> WorkloadSpec:
+        return WorkloadSpec(
+            arrival="poisson",
+            rate_per_s=self.arrival_rate_per_s,
+            n_flows=self.arrivals_per_shard,
+            size_dist="lognormal",
+            mean_size_bytes=self.mean_size_bytes,
+            sigma=self.size_sigma,
+            max_size_bytes=self.max_size_bytes,
+        )
+
+    def hop_specs(self) -> list[HopSpec]:
+        return uniform_chain_specs(
+            self.n_hops, rate_bps=self.hop_rate_bps, delay_s=self.hop_delay_s
+        )
+
+    def has_fault(self, index: int) -> bool:
+        return (
+            self.fault_every > 0
+            and index % self.fault_every == self.fault_phase % self.fault_every
+        )

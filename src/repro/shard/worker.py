@@ -1,0 +1,235 @@
+"""Per-process shard simulation state and the epoch task functions.
+
+A worker process owns a *group* of shards for the whole run: the engine
+pins each group to its own single-worker executor, so every epoch task
+for group ``g`` lands in the same process and finds the group's live
+:class:`_ShardState` objects (simulator, FlowPool, fault injector) in
+:data:`_STATES` exactly where the previous epoch left them.  With
+``jobs=1`` the engine calls these functions inline and the same dict
+serves from the parent process — one code path, two execution modes.
+
+States are keyed by ``(run_token, shard_index)``: the token is unique
+per engine invocation, so two runs in one process (tests, back-to-back
+experiments) can never see each other's shards.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.faults.schedule import FaultInjector, FaultSchedule, LinkDown
+from repro.obs.tracer import TRACER
+from repro.shard.exchange import ShardReport
+from repro.shard.plan import ShardPlan
+from repro.simcore.random import RngRegistry
+from repro.simcore.simulator import Simulator
+from repro.workload.pool import FlowPool
+
+#: Live shard states of every run this process participates in.
+_STATES: dict[tuple[str, int], "_ShardState"] = {}
+
+#: Fault-injection target name for the mid-chain blackout link.
+_FAULT_LINK = "midlink"
+
+
+class _ShardState:
+    """One shard's complete simulation: chain, FlowPool, faults, tracer."""
+
+    def __init__(self, plan: ShardPlan, index: int) -> None:
+        self.plan = plan
+        self.index = index
+        self.sim = Simulator()
+        self.rng = RngRegistry(plan.shard_seed(index))
+        self.pool = FlowPool(
+            self.sim,
+            self.rng,
+            spec=plan.workload_spec(),
+            hops=plan.hop_specs(),
+            protocol="leotp",
+            memory_ceiling_bytes=plan.memory_ceiling_bytes,
+            cache_fraction=plan.cache_fraction,
+            name=plan.shard_name(index),
+        )
+        self.injector: Optional[FaultInjector] = None
+        if plan.has_fault(index):
+            self.injector = FaultInjector(self.sim, self.rng)
+            middle = self.pool.links[len(self.pool.links) // 2]
+            self.injector.register_link(_FAULT_LINK, middle)
+            self.injector.arm(FaultSchedule([
+                LinkDown(
+                    at_s=plan.fault_at_s,
+                    link=_FAULT_LINK,
+                    duration_s=plan.fault_duration_s,
+                ),
+            ]))
+        # Per-shard trace event counts (observe mode), merged by the engine.
+        self.trace_counts: Counter = Counter()
+        self._boundary_stored_before = 0
+        self._boundary_evicted = 0
+
+    # -- epoch mechanics ------------------------------------------------
+
+    def apply_allocation(self, allocation: int) -> None:
+        """Adopt the exchange's cache allocation at the epoch boundary.
+
+        Shrinking below current occupancy evicts deterministically (the
+        pool's fullest-member policy) until the shard fits its new share;
+        the boundary identity ``before == after + evicted`` is asserted
+        here so accounting bugs fail at the boundary that caused them.
+        """
+        cache_pool = self.pool.cache_pool
+        assert cache_pool is not None  # LEOTP pools always have one
+        before = cache_pool.stored_bytes
+        evicted_mark = cache_pool.pool_evicted_bytes
+        cache_pool.capacity_bytes = allocation
+        # Members self-evict at their own capacity before the pool sees
+        # the bytes, so a grown allocation must reach them too.
+        for member in cache_pool.members:
+            member.capacity_bytes = allocation
+        # The shard's ledger ceiling follows its allocation: admission
+        # still enforces the fixed flow-state share, while the cache side
+        # may legitimately grow past the construction-time equal split.
+        self.pool.budget.ceiling_bytes = (
+            self.pool._flow_share_bytes + allocation
+        )
+        cache_pool.on_change()
+        evicted = cache_pool.pool_evicted_bytes - evicted_mark
+        after = cache_pool.stored_bytes
+        if before != after + evicted:
+            raise AssertionError(
+                f"shard {self.index}: cache bytes not conserved at epoch "
+                f"boundary ({before} != {after} + {evicted})"
+            )
+        if after > allocation:
+            raise AssertionError(
+                f"shard {self.index}: occupancy {after} above allocation "
+                f"{allocation} after enforcement"
+            )
+        self._boundary_stored_before = before
+        self._boundary_evicted = evicted
+
+    def run_epoch(self, epoch: int, observe: bool) -> ShardReport:
+        until = self.plan.epoch_end_s(epoch)
+        if observe:
+            was_enabled = TRACER.enabled
+            mark = len(TRACER.records)
+            TRACER.enable()
+            try:
+                self.sim.run(until=until)
+            finally:
+                TRACER.enabled = was_enabled
+            self.trace_counts.update(
+                rec["event"] for rec in TRACER.records[mark:]
+            )
+            del TRACER.records[mark:]  # merged into counts; free the buffer
+        else:
+            self.sim.run(until=until)
+        return self.report(epoch)
+
+    def report(self, epoch: int) -> ShardReport:
+        pool = self.pool
+        cache_pool = pool.cache_pool
+        return ShardReport(
+            shard=self.index,
+            epoch=epoch,
+            sim_time_s=self.sim.now,
+            events_executed=self.sim.events_executed,
+            arrivals=pool.arrivals,
+            completed=pool.completed,
+            aborted=pool.aborted,
+            live_flows=pool.active_flows,
+            backlog_bytes=pool.backlog_bytes(),
+            cache_stored_bytes=cache_pool.stored_bytes,
+            cache_capacity_bytes=cache_pool.capacity_bytes,
+            budget_total_bytes=pool.budget.total_bytes,
+            budget_breaches=pool.budget.breaches,
+            boundary_stored_before=self._boundary_stored_before,
+            boundary_evicted_bytes=self._boundary_evicted,
+        )
+
+    def finalize(self) -> dict:
+        """End the shard's workload and summarise it into one result row."""
+        self.pool.finalize()
+        summary = self.pool.summary()
+        row = {
+            "shard": self.index,
+            "faulted": self.plan.has_fault(self.index),
+            "arrivals": int(summary["arrivals"]),
+            "completed": int(summary["completed"]),
+            "aborted": int(summary["aborted"]),
+            "peak_conc": int(summary["peak_concurrency"]),
+            "fct_p50_ms": summary["fct_p50_s"] * 1e3,
+            "fct_p90_ms": summary["fct_p90_s"] * 1e3,
+            "fct_p99_ms": summary["fct_p99_s"] * 1e3,
+            "goodput_kBs": summary.get("goodput_mean_bytes_s", 0.0) / 1e3,
+            "budget_peak_MiB": summary["budget_peak_bytes"] / (1 << 20),
+            "budget_breaches": int(summary["budget_breaches"]),
+            "cache_evictions": int(summary.get("cache_pool_evictions", 0)),
+            "admission_rejects": int(summary["admission_rejects"]),
+            "events": self.sim.events_executed,
+        }
+        return row
+
+
+# ----------------------------------------------------------------------
+# Task functions (submitted across the process boundary — keep top-level)
+# ----------------------------------------------------------------------
+
+
+def _state(plan: ShardPlan, run_token: str, index: int) -> _ShardState:
+    key = (run_token, index)
+    state = _STATES.get(key)
+    if state is None:
+        state = _STATES[key] = _ShardState(plan, index)
+    return state
+
+
+def run_group_epoch(
+    plan: ShardPlan,
+    run_token: str,
+    indices: list[int],
+    epoch: int,
+    allocations: tuple[int, ...],
+    observe: bool = False,
+) -> list[ShardReport]:
+    """Advance every shard of one group through one epoch.
+
+    Applies the exchange's allocation first (the epoch-boundary step),
+    then simulates up to the epoch's end time.  Shards run sequentially
+    within their group; parallelism is across groups.
+    """
+    reports = []
+    for index in indices:
+        state = _state(plan, run_token, index)
+        state.apply_allocation(allocations[index])
+        reports.append(state.run_epoch(epoch, observe))
+    return reports
+
+
+def finalize_group(
+    plan: ShardPlan, run_token: str, indices: list[int]
+) -> list[tuple[int, dict, dict]]:
+    """Finalise and tear down one group's shards.
+
+    Returns ``(shard_index, summary_row, trace_counts)`` per shard and
+    drops the group's states, so a long-lived worker process (or the
+    parent, with ``jobs=1``) holds nothing after the run.
+    """
+    out = []
+    for index in indices:
+        state = _STATES.pop((run_token, index), None)
+        if state is None:
+            raise RuntimeError(
+                f"shard {index} has no live state for run {run_token!r}"
+            )
+        out.append((index, state.finalize(), dict(state.trace_counts)))
+    return out
+
+
+def drop_run(run_token: str) -> int:
+    """Abandon every shard of a run (engine cleanup on error paths)."""
+    stale = [key for key in _STATES if key[0] == run_token]
+    for key in stale:
+        del _STATES[key]
+    return len(stale)

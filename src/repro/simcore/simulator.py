@@ -21,6 +21,15 @@ compacts the heap — filter + re-heapify, O(n) — whenever zombies are the
 majority, so long timer-churn runs (RTO re-arms, chaos suites) cannot
 bloat the heap.  Compaction never changes pop order: entries are totally
 ordered by their unique ``(time, priority, seq)`` prefix.
+
+Per-link packet deliveries ride the fire-and-forget path as a *batch*:
+a link schedules every delivery through :meth:`Simulator.schedule_call`
+(no Event allocated, nothing to cancel one-by-one) and invalidates its
+whole in-flight cohort at once with a generation bump when flushed (see
+``repro.netsim.link``).  The drain loop itself specialises the common
+``run()``/``run(until=...)`` shapes: when no event-count cap or wall
+watchdog is armed, the per-event bound checks drop out of the hot loop
+entirely.
 """
 
 from __future__ import annotations
@@ -238,34 +247,58 @@ class Simulator:
         heap = self._heap
         pop = heappop
         try:
-            while heap:
-                entry = heap[0]
-                event = entry[3]
-                if event is not None and event.cancelled:
+            if max_events is None and deadline is None:
+                # Specialised drain loop for the dominant run()/run(until=)
+                # shapes: one pop per event (no peek), single tuple unpack,
+                # no per-event bound checks beyond the time horizon.  The
+                # boundary entry is pushed back untouched, so a later run()
+                # resumes from the exact same heap state.
+                bound = float("inf") if until is None else until
+                while heap:
+                    entry = pop(heap)
+                    time, _, _, event, callback, args = entry
+                    if time > bound:
+                        heappush(heap, entry)
+                        break
+                    if event is not None:
+                        if event.cancelled:
+                            self._cancelled_pending -= 1
+                            continue
+                        event._sim = None  # fired: later cancel() is a no-op
+                    self._now = time
+                    callback(*args)
+                    executed += 1
+                    if heap is not self._heap:  # callback triggered compaction
+                        heap = self._heap
+            else:
+                while heap:
+                    entry = heap[0]
+                    event = entry[3]
+                    if event is not None and event.cancelled:
+                        pop(heap)
+                        self._cancelled_pending -= 1
+                        continue
+                    if until is not None and entry[0] > until:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        break
+                    if (
+                        deadline is not None
+                        and executed & check_mask == check_mask
+                        and monotonic() > deadline
+                    ):
+                        raise SimulationError(
+                            f"wall-clock watchdog expired after {wall_timeout_s}s "
+                            f"(simulated t={self._now:.3f}, {executed} events this run)"
+                        )
                     pop(heap)
-                    self._cancelled_pending -= 1
-                    continue
-                if until is not None and entry[0] > until:
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                if (
-                    deadline is not None
-                    and executed & check_mask == check_mask
-                    and monotonic() > deadline
-                ):
-                    raise SimulationError(
-                        f"wall-clock watchdog expired after {wall_timeout_s}s "
-                        f"(simulated t={self._now:.3f}, {executed} events this run)"
-                    )
-                pop(heap)
-                if event is not None:
-                    event._sim = None  # fired: later cancel() is a no-op
-                self._now = entry[0]
-                entry[4](*entry[5])
-                executed += 1
-                if heap is not self._heap:  # a callback triggered compaction
-                    heap = self._heap
+                    if event is not None:
+                        event._sim = None  # fired: later cancel() is a no-op
+                    self._now = entry[0]
+                    entry[4](*entry[5])
+                    executed += 1
+                    if heap is not self._heap:  # a callback triggered compaction
+                        heap = self._heap
         finally:
             self._running = False
             self._events_executed += executed

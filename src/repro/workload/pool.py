@@ -24,10 +24,18 @@ a hint.
 Everything is deterministic per seed: arrivals come from a named RNG
 stream, spawn order follows the demand list, and eviction order in the
 shared cache pool is tie-broken by registration index.
+
+Per-flow bookkeeping is struct-of-arrays: one slot per arrival across
+parallel arrays (ids, timestamps, status bytes, interned abort reasons)
+instead of a :class:`~repro.workload.metrics.FlowRecord` object per flow.
+At 10⁴–10⁵ flows this cuts live-object count and per-flow overhead to a
+few tens of bytes; :attr:`FlowPool.records` materialises the familiar
+record objects on demand (and caches them until the next mutation).
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Optional, Sequence
 
 from repro.core.config import LeotpConfig
@@ -55,6 +63,11 @@ FLOW_STATE_BYTES_PER_NODE = 512
 #: anything else is treated as a TCP congestion-control name and shares
 #: a router chain.
 LEOTP = "leotp"
+
+# Flow status bytes in the pool's struct-of-arrays bookkeeping.
+_LIVE = 0
+_COMPLETED = 1
+_ABORTED = 2
 
 
 class FlowPool:
@@ -98,8 +111,18 @@ class FlowPool:
         self.access_delay_s = access_delay_s
         self.budget = MemoryBudget(memory_ceiling_bytes)
         self.fairness = FairnessTracker(fairness_window_s)
-        self.records: list[FlowRecord] = []
-        self._live: dict[str, FlowRecord] = {}
+        # Struct-of-arrays flow bookkeeping: slot i across these parallel
+        # arrays is one arrival.  NaN in _finish_s means "still open".
+        self._ids: list[str] = []
+        self._arrival_s = array("d")
+        self._size_b = array("q")
+        self._start_s = array("d")
+        self._finish_s = array("d")
+        self._status = bytearray()
+        self._reason_idx = bytearray()  # 0 = no reason; else 1+intern index
+        self._reasons: list[str] = []   # interned abort reasons
+        self._records_cache: Optional[list[FlowRecord]] = None
+        self._live: dict[str, int] = {}  # flow_id -> slot index
         self._consumers: dict[str, Consumer] = {}  # live LEOTP endpoints
         self._delivered: dict[str, int] = {}  # TCP completion tracking
         # Counters.
@@ -196,35 +219,68 @@ class FlowPool:
     def pending_demands(self) -> int:
         return len(self._demands) - self._next_demand
 
+    def backlog_bytes(self) -> int:
+        """Total responder send-buffer backlog across the shared chain.
+
+        The sharded engine (:mod:`repro.shard`) reports this as the
+        shard's gateway backlog: bytes accepted by the chain's responders
+        (Producer and Midnodes) but not yet handed to a link.  TCP pools
+        report 0 — router queues belong to the links, not the pool.
+        """
+        if self.protocol != LEOTP:
+            return 0
+        total = 0
+        for mid in self.midnodes:
+            for state in mid._flows.values():
+                total += state.sender.backlog_bytes
+        for sender in self.producer._senders.values():
+            total += sender.backlog_bytes
+        return total
+
     def _spawn_next(self) -> None:
         """Closed-loop admission: spawn the next pending demand, if any."""
         if self._next_demand < len(self._demands) and not self._finalized:
             self._spawn_index(self._next_demand)
+
+    def _new_slot(self, flow_id: str, demand: FlowDemand) -> int:
+        """Append one flow to the struct-of-arrays bookkeeping."""
+        slot = len(self._ids)
+        self._ids.append(flow_id)
+        self._arrival_s.append(demand.arrival_s)
+        self._size_b.append(demand.size_bytes)
+        self._start_s.append(self.sim.now)
+        self._finish_s.append(float("nan"))
+        self._status.append(_LIVE)
+        self._reason_idx.append(0)
+        self._records_cache = None
+        return slot
+
+    def _reason_id(self, reason: str) -> int:
+        """Intern an abort reason; returns its 1-based index."""
+        try:
+            return self._reasons.index(reason) + 1
+        except ValueError:
+            self._reasons.append(reason)
+            return len(self._reasons)
 
     def _spawn_index(self, idx: int) -> None:
         demand = self._demands[idx]
         self._next_demand = max(self._next_demand, idx + 1)
         self.arrivals += 1
         flow_id = f"{self._flow_prefix}w{idx:05d}"
-        record = FlowRecord(
-            flow_id=flow_id,
-            arrival_s=demand.arrival_s,
-            size_bytes=demand.size_bytes,
-            start_s=self.sim.now,
-        )
-        self.records.append(record)
+        slot = self._new_slot(flow_id, demand)
         # Hard admission: per-flow soft state may not overflow the budget
         # share left after the cache pool's slice.
         projected = (self.active_flows + 1) * self._flow_state_bytes
         if projected > self._flow_share_bytes:
-            record.aborted = True
-            record.abort_reason = "admission"
+            self._status[slot] = _ABORTED
+            self._reason_idx[slot] = self._reason_id("admission")
             self.aborted += 1
             self.admission_rejects += 1
             if self.spec.closed_loop:
                 self._spawn_next()
             return
-        self._live[flow_id] = record
+        self._live[flow_id] = slot
         if self.active_flows > self.peak_concurrency:
             self.peak_concurrency = self.active_flows
         self.budget.set_account(
@@ -317,10 +373,12 @@ class FlowPool:
             self._complete(flow_id)
 
     def _complete(self, flow_id: str) -> None:
-        record = self._live.pop(flow_id, None)
-        if record is None:
+        slot = self._live.pop(flow_id, None)
+        if slot is None:
             return
-        record.finish_s = self.sim.now
+        self._finish_s[slot] = self.sim.now
+        self._status[slot] = _COMPLETED
+        self._records_cache = None
         self.completed += 1
         self._retire(flow_id)
         self.budget.set_account(
@@ -338,12 +396,13 @@ class FlowPool:
         closed-loop admission the freed slot spawns the next demand, like
         a completion would.  Returns False if the flow is not live.
         """
-        record = self._live.pop(flow_id, None)
-        if record is None:
+        slot = self._live.pop(flow_id, None)
+        if slot is None:
             return False
-        record.aborted = True
-        record.abort_reason = reason
-        record.finish_s = self.sim.now
+        self._status[slot] = _ABORTED
+        self._reason_idx[slot] = self._reason_id(reason)
+        self._finish_s[slot] = self.sim.now
+        self._records_cache = None
         self.aborted += 1
         consumer = self._consumers.get(flow_id)
         if consumer is not None:
@@ -385,23 +444,51 @@ class FlowPool:
         self._finalized = True
         if self._timeline is not None:
             self._timeline.stop()
-        for flow_id, record in list(self._live.items()):
-            record.aborted = True
-            record.abort_reason = "unfinished"
+        for flow_id, slot in list(self._live.items()):
+            self._status[slot] = _ABORTED
+            self._reason_idx[slot] = self._reason_id("unfinished")
             self.aborted += 1
             self._retire(flow_id)
         self._live.clear()
+        self._records_cache = None
         # An Interest in flight when its flow was aborted can reach a
         # responder after retirement and rebuild the (soft, on-demand)
         # per-flow state; sweep every recorded flow once more so nothing
         # outlives the run.
-        for record in self.records:
-            self._retire(record.flow_id)
+        for flow_id in self._ids:
+            self._retire(flow_id)
         self.budget.set_account("flows", 0)
 
     # ------------------------------------------------------------------
     # Reporting / observability
     # ------------------------------------------------------------------
+
+    def _record(self, slot: int) -> FlowRecord:
+        finish = self._finish_s[slot]
+        ridx = self._reason_idx[slot]
+        return FlowRecord(
+            flow_id=self._ids[slot],
+            arrival_s=self._arrival_s[slot],
+            size_bytes=self._size_b[slot],
+            start_s=self._start_s[slot],
+            finish_s=finish if finish == finish else None,  # NaN -> None
+            aborted=self._status[slot] == _ABORTED,
+            abort_reason=self._reasons[ridx - 1] if ridx else None,
+        )
+
+    @property
+    def records(self) -> list[FlowRecord]:
+        """Per-flow :class:`FlowRecord` view of the struct-of-arrays state.
+
+        Materialised on demand and cached until the next lifecycle change;
+        treat the returned records as snapshots, not live objects.
+        """
+        cache = self._records_cache
+        if cache is None:
+            cache = self._records_cache = [
+                self._record(i) for i in range(len(self._ids))
+            ]
+        return cache
 
     def attach_samplers(self, interval_s: Optional[float] = None) -> str:
         """Register pool-level samplers (occupancy, memory) with METRICS."""

@@ -101,7 +101,7 @@ class TestRegistry:
             "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
             "fig19", "table2", "ablation_vph", "ablation_params",
             "related_snoop", "constellation_study", "chaos", "churn",
-            "gateway", "multicast", "workload",
+            "gateway", "multicast", "workload", "workload_sharded",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

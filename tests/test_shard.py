@@ -1,0 +1,236 @@
+"""Sharded engine: jobs-independence, exchange conservation, packet pool.
+
+The headline guarantee of :mod:`repro.shard` is that ``--jobs`` is an
+execution knob, not a modelling knob: serial and parallel runs must be
+*bit-identical*, and the cross-shard exchange must conserve the global
+cache budget byte-for-byte at every epoch boundary.  These tests pin
+both, plus the packet freelist's no-stale-state contract that the
+sharded engine leans on (pool reuse across thousands of flows).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.ranges import ByteRange
+from repro.core import wire
+from repro.core.wire import DataPacket, Interest, clear_packet_pools, packet_pool_stats
+from repro.shard import (
+    MIN_CACHE_ALLOC_BYTES,
+    ShardPlan,
+    apportion,
+    run_sharded,
+)
+from repro.shard.worker import _ShardState
+
+#: Small-but-alive plan: four shards (one faulted), six exchange epochs.
+SMALL_PLAN = ShardPlan(n_shards=4, arrivals_per_shard=30, drain_s=2.5)
+
+
+def _payload(result: dict) -> str:
+    """The deterministic part of a run, in canonical form."""
+    return json.dumps(
+        {"rows": result["rows"], "ledger": result["ledger"]}, sort_keys=True
+    )
+
+
+# ----------------------------------------------------------------------
+# apportion: the integer heart of the exchange
+# ----------------------------------------------------------------------
+
+
+def test_apportion_conserves_exactly():
+    total = 96 << 20
+    weights = [0, 17, 313, 5, 5, 1_000_000, 3]
+    shares = apportion(total, weights)
+    assert sum(shares) == total
+    assert all(s >= 0 for s in shares)
+
+
+def test_apportion_equal_split_on_zero_weights():
+    assert apportion(10, [0, 0, 0]) == [4, 3, 3]  # remainder to low indices
+
+
+def test_apportion_ties_break_by_index():
+    # Equal weights, indivisible remainder: earlier shards get the units.
+    assert apportion(7, [1, 1, 1]) == [3, 2, 2]
+
+
+def test_apportion_edge_cases():
+    assert apportion(0, [1, 2]) == [0, 0]
+    assert apportion(-5, [1, 2]) == [0, 0]
+    assert apportion(100, []) == []
+    with pytest.raises(ValueError):
+        apportion(10, [1, -1])
+
+
+# ----------------------------------------------------------------------
+# jobs-independence: the tentpole guarantee
+# ----------------------------------------------------------------------
+
+
+def test_sharded_run_bit_identical_across_jobs():
+    serial = run_sharded(SMALL_PLAN, jobs=1)
+    two = run_sharded(SMALL_PLAN, jobs=2)
+    four = run_sharded(SMALL_PLAN, jobs=4)
+    assert _payload(serial) == _payload(two) == _payload(four)
+    # Sanity: the runs actually did work and finished every flow.
+    total = serial["rows"][-1]
+    assert total["shard"] == "total"
+    assert total["arrivals"] == 4 * 30
+    assert total["completed"] + total["aborted"] == total["arrivals"]
+    assert serial["events_executed"] > 10_000
+
+
+def test_sharded_run_repeatable_and_seed_sensitive():
+    again = run_sharded(SMALL_PLAN, jobs=1)
+    other_seed = run_sharded(
+        ShardPlan(n_shards=4, arrivals_per_shard=30, drain_s=2.5, seed=1),
+        jobs=1,
+    )
+    assert _payload(run_sharded(SMALL_PLAN, jobs=1)) == _payload(again)
+    assert _payload(again) != _payload(other_seed)
+
+
+def test_jobs_clamped_to_shard_count():
+    result = run_sharded(SMALL_PLAN, jobs=64)
+    assert result["jobs"] == SMALL_PLAN.n_shards
+    assert _payload(result) == _payload(run_sharded(SMALL_PLAN, jobs=1))
+
+
+# ----------------------------------------------------------------------
+# exchange ledger: conservation at every epoch boundary
+# ----------------------------------------------------------------------
+
+
+def test_ledger_conserves_cache_budget_every_epoch():
+    result = run_sharded(SMALL_PLAN, jobs=1)
+    ledger = result["ledger"]
+    assert len(ledger) == SMALL_PLAN.n_epochs
+    for row in ledger:
+        assert sum(row["allocations"]) == SMALL_PLAN.global_cache_bytes
+        assert all(a >= MIN_CACHE_ALLOC_BYTES for a in row["allocations"])
+        assert row["budget_breaches"] == 0
+
+
+def test_ledger_boundary_identity_links_epochs():
+    """stored-before at epoch e's boundary == stored at epoch e-1's end."""
+    result = run_sharded(SMALL_PLAN, jobs=1)
+    ledger = result["ledger"]
+    for prev, cur in zip(ledger, ledger[1:]):
+        assert cur["boundary_stored_before"] == prev["stored_bytes"]
+        for before, evicted in zip(
+            cur["boundary_stored_before"], cur["boundary_evicted_bytes"]
+        ):
+            assert 0 <= evicted <= before
+
+
+def test_boundary_shrink_evicts_and_conserves():
+    """Forcing a shard far below its occupancy must evict, not breach."""
+    state = _ShardState(SMALL_PLAN, index=0)
+    state.apply_allocation(SMALL_PLAN.shard_cache_bytes)
+    # Cached blocks are per-flow and dropped at retirement, so probe while
+    # flows are still live: step until the pool holds forwarded data.
+    cache_pool = state.pool.cache_pool
+    t = 0.0
+    while cache_pool.stored_bytes == 0 and t < 2.0:
+        t += 0.05
+        state.sim.run(until=t)
+    assert cache_pool.stored_bytes > 0  # forwarded data was cached
+    before = cache_pool.stored_bytes
+    tiny = max(MIN_CACHE_ALLOC_BYTES, before // 4)
+    # apply_allocation asserts before == after + evicted internally.
+    state.apply_allocation(tiny)
+    assert cache_pool.stored_bytes <= tiny
+    assert state._boundary_evicted == before - cache_pool.stored_bytes
+    assert state._boundary_evicted > 0
+    assert state.pool.budget.breaches == 0
+
+
+# ----------------------------------------------------------------------
+# packet freelist: recycled packets carry no stale state
+# ----------------------------------------------------------------------
+
+
+pooled = pytest.mark.skipif(
+    not wire._POOL_ENABLED, reason="packet pool disabled via LEOTP_PACKET_POOL=0"
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_pools():
+    clear_packet_pools()
+    yield
+    clear_packet_pools()
+
+
+@pooled
+def test_interest_reuse_has_no_stale_fields():
+    first = Interest(
+        "flowA", ByteRange(0, 1000), 1.5, 9999.0, is_retransmission=True
+    )
+    first.hops = 7
+    first.src, first.dst = "a", "b"
+    old_uid = first.uid
+    first.release()
+    assert packet_pool_stats()["interest_free"] == 1
+
+    second = Interest("flowB", ByteRange(64, 128), 2.5, 100.0)
+    assert second is first  # recycled, not reallocated
+    assert packet_pool_stats()["interest_free"] == 0
+    assert second.flow_id == "flowB"
+    assert second.range == ByteRange(64, 128)
+    assert second.timestamp == 2.5
+    assert second.created_at == 2.5
+    assert second.send_rate_bytes_s == 100.0
+    assert second.is_retransmission is False
+    assert second.hops == 0
+    assert second.src is None and second.dst is None
+    assert second.uid != old_uid
+    assert second._in_pool is False
+
+
+@pooled
+def test_data_packet_reuse_has_no_stale_fields():
+    first = DataPacket(
+        "flowA", ByteRange(0, 4096), 1.0,
+        is_header=True, origin_ts=0.25, echo_interest_owd=0.1,
+        retransmitted=True,
+    )
+    header_size = first.size_bytes
+    first.release()
+
+    second = DataPacket("flowB", ByteRange(0, 500), 3.0)
+    assert second is first
+    assert second.is_header is False
+    assert second.origin_ts == 0.0
+    assert second.echo_interest_owd == 0.0
+    assert second.retransmitted is False
+    assert second.payload_bytes == 500
+    assert second.size_bytes == 500 + header_size  # payload + wire header
+
+
+@pooled
+def test_double_release_is_a_noop():
+    pkt = Interest("f", ByteRange(0, 10), 0.0, 1.0)
+    pkt.release()
+    pkt.release()
+    assert packet_pool_stats()["interest_free"] == 1
+    a = Interest("g", ByteRange(0, 10), 0.0, 1.0)
+    b = Interest("h", ByteRange(0, 10), 0.0, 1.0)
+    assert a is not b  # the pool held one object, not one per release
+
+
+@pooled
+def test_subclasses_are_never_pooled():
+    class TracingInterest(Interest):
+        __slots__ = ()
+
+    pkt = TracingInterest("f", ByteRange(0, 10), 0.0, 1.0)
+    pkt.release()
+    assert packet_pool_stats()["interest_free"] == 0
+    # And a pooled base Interest is never handed out as the subclass.
+    Interest("f", ByteRange(0, 10), 0.0, 1.0).release()
+    assert type(TracingInterest("g", ByteRange(0, 10), 0.0, 1.0)) is TracingInterest
