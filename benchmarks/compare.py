@@ -13,6 +13,12 @@ benchmark present in both files of any pair slowed down by more than
 ``--threshold`` (default 15 %).  Speedups and new/removed benchmarks
 are reported but never fail the gate.
 
+Memory is gated the same way: when both sides of a match carry
+``extra_info.peak_rss_mib`` (the shard benchmarks record it), growth
+beyond ``--mem-threshold`` (default 30 %, RSS being noisier than time)
+is a regression.  A benchmark missing the figure on either side is
+skipped — memory gating never fails on hosts without ``/proc``.
+
 ``--pair BASE NEW`` is repeatable, so one invocation gates the whole
 perf surface (kernel + workload + shard) — that is how the CI
 benchmarks job calls it.  The two-positional form remains for single
@@ -49,10 +55,16 @@ def _fmt_time(seconds: float) -> str:
     return f"{seconds * 1e6:.1f}us"
 
 
+def _peak_rss(bench: dict) -> float | None:
+    value = bench.get("extra_info", {}).get("peak_rss_mib")
+    return float(value) if value is not None else None
+
+
 def compare(
     baseline: dict[str, dict],
     new: dict[str, dict],
     threshold: float,
+    mem_threshold: float = 0.30,
 ) -> tuple[str, list[str]]:
     """Render a comparison table; return (table, regression messages)."""
     names = sorted(set(baseline) | set(new))
@@ -91,6 +103,21 @@ def compare(
             f"{name.ljust(width)}  {_fmt_time(old_mean):>10}  "
             f"{_fmt_time(new_mean):>10}  {speedup:>7.2f}x  {verdict}"
         )
+        old_rss, new_rss = _peak_rss(old_bench), _peak_rss(new_bench)
+        if old_rss is not None and new_rss is not None and old_rss > 0:
+            growth = new_rss / old_rss - 1.0
+            if growth > mem_threshold:
+                mem_verdict = f"RSS REGRESSION (>{mem_threshold:.0%} more)"
+                regressions.append(
+                    f"{name}: peak RSS {old_rss:.1f} MiB -> "
+                    f"{new_rss:.1f} MiB (+{growth:.0%})"
+                )
+            else:
+                mem_verdict = "ok"
+            lines.append(
+                f"{''.ljust(width)}  {old_rss:>6.1f}MiB  {new_rss:>7.1f}MiB  "
+                f"{'':>8}  rss {mem_verdict}"
+            )
     return "\n".join(lines), regressions
 
 
@@ -112,6 +139,11 @@ def main(argv: list[str] | None = None) -> int:
         "--threshold", type=float, default=0.15,
         help="allowed slowdown fraction before failing (default 0.15)",
     )
+    parser.add_argument(
+        "--mem-threshold", type=float, default=0.30,
+        help="allowed peak-RSS growth fraction before failing, for "
+             "benchmarks recording extra_info.peak_rss_mib (default 0.30)",
+    )
     args = parser.parse_args(argv)
 
     pairs = [tuple(p) for p in args.pair]
@@ -128,15 +160,16 @@ def main(argv: list[str] | None = None) -> int:
             print(f"== {baseline_path} vs {new_path} ==")
         table, regressions = compare(
             load_benchmarks(baseline_path), load_benchmarks(new_path),
-            args.threshold,
+            args.threshold, args.mem_threshold,
         )
         print(table)
         if len(pairs) > 1:
             print()
         all_regressions.extend(regressions)
     if all_regressions:
-        print(f"\n{len(all_regressions)} regression(s) beyond "
-              f"{args.threshold:.0%}:", file=sys.stderr)
+        print(f"\n{len(all_regressions)} regression(s) beyond the "
+              f"thresholds (time {args.threshold:.0%}, "
+              f"rss {args.mem_threshold:.0%}):", file=sys.stderr)
         for msg in all_regressions:
             print(f"  {msg}", file=sys.stderr)
         return 1

@@ -2,10 +2,17 @@
 
 Times :func:`repro.shard.run_sharded` on a reduced 16-shard plan — the
 same shape as the ``workload_sharded`` experiment, fewer flows per
-shard.  Two figures ride in ``extra_info``: the deterministic event
-count and the aggregate events/s, so the committed JSON doubles as the
-sharding perf trajectory.  The parallel figure depends on host load and
-core count; the serial one is the stable regression fence.
+shard.  ``extra_info`` carries the deterministic event count, the
+aggregate events/s, and the run's peak RSS (MiB), so the committed JSON
+doubles as the sharding perf *and memory* trajectory —
+``benchmarks/compare.py`` gates on both.  The parallel figure depends
+on host load and core count; the serial one is the stable regression
+fence.
+
+``test_bench_shard_xl_slice`` runs a reduced slice of the
+``workload_sharded_xl`` shape with result streaming enabled: many more
+flows than resident slots, so its ``peak_rss_mib`` is the figure that
+fences the bounded-RSS claim of DESIGN.md §14.
 
 Baseline: ``BENCH_shard_baseline.json`` (repo root), captured at this
 benchmark's introduction; current numbers live in ``BENCH_shard.json``.
@@ -38,6 +45,16 @@ def _attach(benchmark, out: dict) -> None:
     benchmark.extra_info["events"] = out["events_executed"]
     benchmark.extra_info["events_per_s"] = round(out["events_per_s"])
     benchmark.extra_info["jobs"] = out["jobs"]
+    if out["rss"] is not None:
+        benchmark.extra_info["peak_rss_mib"] = round(
+            out["rss"]["total_peak_mib"], 1
+        )
+    benchmark.extra_info["exchange_payload_bytes"] = (
+        out["exchange_payload_bytes"]
+    )
+    benchmark.extra_info["exchange_report_bytes"] = (
+        out["exchange_report_bytes"]
+    )
 
 
 def test_bench_shard_serial(benchmark):
@@ -56,3 +73,29 @@ def test_bench_shard_jobs4(benchmark):
     )
     _attach(benchmark, out)
     assert out["completed"] == 16 * ARRIVALS_PER_SHARD
+
+
+XL_SLICE_SHARDS = 8 if _TINY else 25
+XL_SLICE_ARRIVALS = 24 if _TINY else 100
+
+
+def _xl_slice_plan() -> ShardPlan:
+    # Same per-shard shape as workload_sharded_xl, a quarter of the
+    # shards and a tenth of the flows: enough that spilled flows
+    # outnumber resident slots by an order of magnitude.
+    return ShardPlan(
+        n_shards=XL_SLICE_SHARDS,
+        arrivals_per_shard=XL_SLICE_ARRIVALS,
+        drain_s=4.0,
+    )
+
+
+def test_bench_shard_xl_slice(benchmark, tmp_path):
+    out = benchmark.pedantic(
+        run_sharded, args=(_xl_slice_plan(),),
+        kwargs={"jobs": 1, "sink_dir": str(tmp_path / "sink")},
+        rounds=1, iterations=1,
+    )
+    _attach(benchmark, out)
+    benchmark.extra_info["spilled_bytes"] = out["sink"]["merged_bytes"]
+    assert out["completed"] == XL_SLICE_SHARDS * XL_SLICE_ARRIVALS

@@ -66,6 +66,39 @@ class _FlowState:
     suppressor: ResendSuppressor = None  # type: ignore[assignment]
 
 
+class _SenderBacklog:
+    """Late-bound ``sender.backlog_bytes`` thunk.
+
+    A named class (not a closure) so a Midnode's flow state stays
+    picklable end to end — shard checkpointing serialises live flows,
+    and closures cannot cross a pickle boundary.  The sender is bound
+    after construction because the rate controller that consumes this
+    thunk is built before the sender it measures.
+    """
+
+    __slots__ = ("sender",)
+
+    def __init__(self) -> None:
+        self.sender: Optional[PacedSender] = None
+
+    def __call__(self) -> int:
+        sender = self.sender
+        return sender.backlog_bytes if sender is not None else 0
+
+
+class _FlowStamp:
+    """Late-bound per-flow stamp callback (picklable, see _SenderBacklog)."""
+
+    __slots__ = ("midnode", "state")
+
+    def __init__(self, midnode: "Midnode") -> None:
+        self.midnode = midnode
+        self.state: Optional[_FlowState] = None
+
+    def __call__(self, pkt: DataPacket) -> DataPacket:
+        return self.midnode._stamp(self.state, pkt)
+
+
 @dataclass
 class MidnodeStats:
     """Operation counters (also the Fig. 19 CPU-overhead proxy)."""
@@ -165,21 +198,21 @@ class Midnode(Node):
         state = self._flows.get(flow_id)
         if state is None:
             cfg = self.config
-            sender_holder: list[PacedSender] = []
+            backlog = _SenderBacklog()
             cc = HopRateController(
                 self.sim, cfg,
-                buffer_len_fn=lambda: sender_holder[0].backlog_bytes,
+                buffer_len_fn=backlog,
                 name=f"{self.name}:{flow_id}:cc",
             )
-            state_holder: list[_FlowState] = []
+            stamp = _FlowStamp(self)
             sender = PacedSender(
                 self.sim,
-                stamp=lambda pkt: self._stamp(state_holder[0], pkt),
+                stamp=stamp,
                 paced=cfg.hop_by_hop_cc,
                 burst_bytes=3.0 * cfg.data_packet_bytes,
                 name=f"{self.name}:{flow_id}",
             )
-            sender_holder.append(sender)
+            backlog.sender = sender
             state = _FlowState(
                 shr=SeqHoleDetector(cfg.shr_disorder_threshold, cfg.shr_max_holes),
                 cc=cc,
@@ -187,7 +220,7 @@ class Midnode(Node):
                 queued=RangeSet(),
                 suppressor=ResendSuppressor(self.sim, cfg.responder_retx_suppress_s),
             )
-            state_holder.append(state)
+            stamp.state = state
             self._flows[flow_id] = state
         return state
 

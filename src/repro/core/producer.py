@@ -9,6 +9,7 @@ measurement, matching how the evaluation measures recovery delay.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
 from repro.common.ranges import ByteRange, RangeSet
@@ -61,7 +62,9 @@ class Producer(Node):
         if sender is None:
             sender = PacedSender(
                 self.sim,
-                stamp=lambda pkt, fid=flow_id: self._stamp(fid, pkt),
+                # partial over the bound method (not a lambda): flow state
+                # must survive pickling for shard checkpoint/resume.
+                stamp=partial(self._stamp, flow_id),
                 paced=True,
                 burst_bytes=3.0 * self.config.data_packet_bytes,
                 name=f"{self.name}:{flow_id}",

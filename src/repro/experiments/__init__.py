@@ -33,6 +33,7 @@ from repro.experiments import (
     table2_ablation,
     workload,
     workload_sharded,
+    workload_sharded_xl,
 )
 from repro.experiments.common import (
     ExperimentResult,
@@ -72,6 +73,7 @@ ALL_EXPERIMENTS = {
     "constellation_study": constellation_study.run,
     "workload": workload.run,
     "workload_sharded": workload_sharded.run,
+    "workload_sharded_xl": workload_sharded_xl.run,
 }
 
 __all__ = [

@@ -90,6 +90,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.shard_jobs is not None:
         os.environ["LEOTP_SHARD_JOBS"] = str(args.shard_jobs)
     profile_dir = "results/profiles" if args.profile else None
+    if args.profile:
+        # Sharded experiments run in worker processes the experiment-level
+        # profiler cannot see; each worker dumps its own pstats here and
+        # tools/profile_top.py merges them with the parent profile.
+        os.environ["LEOTP_SHARD_PROFILE_DIR"] = os.path.join(
+            "results", "profiles", "shards"
+        )
     observe = args.trace or args.trace_out is not None or args.metrics_out is not None
     if args.trace_out is not None and len(names) > 1:
         parser.error("--trace-out needs exactly one experiment id")

@@ -38,7 +38,11 @@ def shard_plan(scale: float = 1.0, seed: int = 0) -> ShardPlan:
 def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
     jobs = int(os.environ.get("LEOTP_SHARD_JOBS", "1"))
     plan = shard_plan(scale, seed)
-    out = run_sharded(plan, jobs=jobs)
+    out = run_sharded(
+        plan,
+        jobs=jobs,
+        profile_dir=os.environ.get("LEOTP_SHARD_PROFILE_DIR") or None,
+    )
 
     result = ExperimentResult(
         name="workload_sharded",

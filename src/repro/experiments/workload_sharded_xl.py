@@ -1,0 +1,162 @@
+"""Extreme-scale sharded workload: 10⁵ flows in bounded RSS (DESIGN.md §14).
+
+Runs :func:`repro.shard.run_sharded` over a 100-shard plan — 1,000
+arrivals per shard at ``scale=1.0``, i.e. 100,000 flows — exercising the
+full scale machinery: per-shard result streaming (closed flows spill to
+JSONL and their slots are reclaimed, so resident state is bounded by
+*concurrent* flows, not total), epoch-boundary checkpointing, and the
+slim delta-encoded exchange.
+
+The printed table aggregates the 100 shard rows into ten bands of ten
+(summed counts, mean-of-shard latency columns — the same convention as
+the engine's ``total`` row) so it stays readable; the untouched
+per-shard rows live in the returned engine output and are bit-identical
+for every worker count.  Environment knobs:
+
+``LEOTP_SHARD_JOBS``
+    worker processes (default 1); rows are bit-identical for any value.
+``LEOTP_SHARD_SINK_DIR``
+    spill directory (default ``results/shard_xl``); the merged
+    ``flows.jsonl`` lands there.
+``LEOTP_SHARD_CHECKPOINT_DIR``
+    when set, checkpoint every epoch there — and if the directory
+    already holds a valid manifest for this plan, *resume* from it, so
+    re-running the experiment after a kill continues instead of
+    restarting.
+``LEOTP_SHARD_PROFILE_DIR``
+    when set (``--profile`` sets it), each shard worker dumps its own
+    cProfile there for ``tools/profile_top.py`` to merge.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.common import ExperimentResult
+from repro.shard import CheckpointError, ShardPlan, resume_point, run_sharded
+
+N_SHARDS = 100
+ARRIVALS_PER_SHARD = 1_000  # x 100 shards = 100,000 flows at scale=1.0
+MIN_ARRIVALS_PER_SHARD = 5
+BAND = 10  # shards summarised per printed row
+
+DEFAULT_SINK_DIR = os.path.join("results", "shard_xl")
+
+
+def shard_plan(scale: float = 1.0, seed: int = 0) -> ShardPlan:
+    """The experiment's plan at a given scale (same plan for any jobs)."""
+    arrivals = max(
+        MIN_ARRIVALS_PER_SHARD, int(round(ARRIVALS_PER_SHARD * scale))
+    )
+    return ShardPlan(
+        n_shards=N_SHARDS, seed=seed, arrivals_per_shard=arrivals
+    )
+
+
+def _band_row(label: str, rows: list[dict]) -> dict:
+    """Aggregate shard rows the way the engine's total row does."""
+    n = len(rows)
+    return {
+        "shards": label,
+        "faulted": sum(1 for row in rows if row["faulted"]),
+        "arrivals": sum(row["arrivals"] for row in rows),
+        "completed": sum(row["completed"] for row in rows),
+        "aborted": sum(row["aborted"] for row in rows),
+        "peak_conc": max(row["peak_conc"] for row in rows),
+        "fct_p50_ms": sum(row["fct_p50_ms"] for row in rows) / n,
+        "fct_p90_ms": sum(row["fct_p90_ms"] for row in rows) / n,
+        "fct_p99_ms": sum(row["fct_p99_ms"] for row in rows) / n,
+        "goodput_kBs": sum(row["goodput_kBs"] for row in rows) / n,
+        "budget_peak_MiB": sum(row["budget_peak_MiB"] for row in rows),
+        "budget_breaches": sum(row["budget_breaches"] for row in rows),
+        "cache_evictions": sum(row["cache_evictions"] for row in rows),
+        "admission_rejects": sum(row["admission_rejects"] for row in rows),
+        "events": sum(row["events"] for row in rows),
+    }
+
+
+def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+    jobs = int(os.environ.get("LEOTP_SHARD_JOBS", "1"))
+    plan = shard_plan(scale, seed)
+
+    sink_dir = os.environ.get("LEOTP_SHARD_SINK_DIR") or DEFAULT_SINK_DIR
+    checkpoint_dir = os.environ.get("LEOTP_SHARD_CHECKPOINT_DIR") or None
+    profile_dir = os.environ.get("LEOTP_SHARD_PROFILE_DIR") or None
+    resume_from = None
+    if checkpoint_dir is not None:
+        try:
+            resume_point(checkpoint_dir, plan)
+            resume_from = checkpoint_dir
+        except CheckpointError:
+            resume_from = None  # no (valid) prior run: start fresh
+
+    out = run_sharded(
+        plan,
+        jobs=jobs,
+        sink_dir=sink_dir,
+        checkpoint_dir=checkpoint_dir,
+        resume_from=resume_from,
+        profile_dir=profile_dir,
+    )
+
+    result = ExperimentResult(
+        name="workload_sharded_xl",
+        description=(
+            f"Extreme-scale sharded workload: {plan.n_shards} shards x "
+            f"{plan.arrivals_per_shard} flows "
+            f"({plan.n_shards * plan.arrivals_per_shard:,} total), "
+            f"streamed results + checkpointed epochs"
+        ),
+    )
+    shard_rows = out["rows"][:-1]
+    total = out["rows"][-1]
+    for lo in range(0, len(shard_rows), BAND):
+        band = shard_rows[lo:lo + BAND]
+        hi = lo + len(band) - 1
+        result.add(**_band_row(f"{lo:03d}-{hi:03d}", band))
+    result.add(**_band_row("total", shard_rows) | {"shards": "total"})
+    assert total["completed"] == sum(r["completed"] for r in shard_rows)
+
+    sink = out["sink"]
+    result.notes.append(
+        f"{out['completed']:,} of {total['arrivals']:,} flows completed; "
+        f"{len(out['ledger'])} exchange epochs over {plan.horizon_s:.1f}s "
+        f"simulated ({out['events_per_s']:,.0f} events/s)"
+    )
+    if sink is not None:
+        result.notes.append(
+            f"per-flow rows streamed to {sink['merged_path']} "
+            f"({sink['merged_bytes'] / (1 << 20):.1f} MiB); resident "
+            f"slots bounded by concurrency, not flow count"
+        )
+    if out["rss"] is not None:
+        result.notes.append(
+            f"peak RSS {out['rss']['total_peak_mib']:.0f} MiB "
+            f"(parent {out['rss']['parent_peak_mib']:.0f} MiB + "
+            f"{jobs if jobs > 1 else 0} worker(s) "
+            f"{out['rss']['worker_peak_mib']:.0f} MiB)"
+        )
+    result.notes.append(
+        f"epoch exchange: {out['exchange_payload_bytes'] / 1e3:.1f} kB "
+        f"sent / {out['exchange_report_bytes'] / 1e3:.1f} kB returned "
+        f"(delta-encoded; only changed shards transmit)"
+    )
+    if out["resumed_from_epoch"] is not None:
+        result.notes.append(
+            f"resumed from checkpoint at epoch {out['resumed_from_epoch']} "
+            f"in {checkpoint_dir}"
+        )
+    elif out["checkpoints_written"]:
+        result.notes.append(
+            f"{out['checkpoints_written']} checkpoint(s) committed to "
+            f"{checkpoint_dir}"
+        )
+    result.notes.append(
+        "per-shard rows (and the spilled flows.jsonl) are bit-identical "
+        "for any LEOTP_SHARD_JOBS value"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run(scale=0.02).table())

@@ -308,6 +308,100 @@ class _ScaledProfile:
         return self.base.rate_at(t) * self.factor
 
 
+class _LinkBackUp:
+    """Scheduled end of a :class:`LinkDown` window.
+
+    A named callable (not a closure) so a shard checkpoint taken *inside*
+    a blackout window can pickle the pending restore off the event heap.
+    The same applies to every ``_*Restore`` class below.
+    """
+
+    __slots__ = ("injector", "links", "label")
+
+    def __init__(self, injector: "FaultInjector", links, label: str) -> None:
+        self.injector = injector
+        self.links = links
+        self.label = label
+
+    def __call__(self) -> None:
+        for link in self.links:
+            link.up = True
+        self.injector._log(f"{self.label} UP")
+
+
+class _DelayRestore:
+    __slots__ = ("injector", "links", "deltas", "label")
+
+    def __init__(self, injector, links, deltas, label: str) -> None:
+        self.injector = injector
+        self.links = links
+        self.deltas = deltas
+        self.label = label
+
+    def __call__(self) -> None:
+        for link, delta in zip(self.links, self.deltas):
+            link.delay_s = max(link.delay_s - delta, 0.0)
+        self.injector._log(f"{self.label} delay restored")
+
+
+class _BandwidthRestore:
+    __slots__ = ("injector", "links", "saved", "label")
+
+    def __init__(self, injector, links, saved, label: str) -> None:
+        self.injector = injector
+        self.links = links
+        self.saved = saved
+        self.label = label
+
+    def __call__(self) -> None:
+        for link, profile in zip(self.links, self.saved):
+            link.profile = profile
+        self.injector._log(f"{self.label} bandwidth restored")
+
+
+class _LossRestore:
+    __slots__ = ("injector", "links", "saved", "label")
+
+    def __init__(self, injector, links, saved, label: str) -> None:
+        self.injector = injector
+        self.links = links
+        self.saved = saved
+        self.label = label
+
+    def __call__(self) -> None:
+        for link, plr in zip(self.links, self.saved):
+            link.set_loss(plr)
+        self.injector._log(f"{self.label} loss restored")
+
+
+class _LossModelRestore:
+    __slots__ = ("injector", "links", "saved", "label")
+
+    def __init__(self, injector, links, saved, label: str) -> None:
+        self.injector = injector
+        self.links = links
+        self.saved = saved
+        self.label = label
+
+    def __call__(self) -> None:
+        for link, model in zip(self.links, self.saved):
+            link.loss_model = model
+        self.injector._log(f"{self.label} Gilbert-Elliott loss detached")
+
+
+class _NodeRestart:
+    __slots__ = ("injector", "node", "label")
+
+    def __init__(self, injector, node, label: str) -> None:
+        self.injector = injector
+        self.node = node
+        self.label = label
+
+    def __call__(self) -> None:
+        self.node.restart()
+        self.injector._log(f"{self.label} restarted")
+
+
 class FaultInjector:
     """Executes a :class:`FaultSchedule` against registered links/nodes."""
 
@@ -433,13 +527,11 @@ class FaultInjector:
             if event.flush:
                 dropped += link.flush(drop_inflight=event.drop_inflight)
         self._log(f"{event.link} DOWN for {event.duration_s}s ({dropped} flushed)")
-
-        def back_up() -> None:
-            for link in links:
-                link.up = True
-            self._log(f"{event.link} UP")
-
-        self.sim.schedule(event.duration_s, back_up, priority=self.PRIORITY)
+        self.sim.schedule(
+            event.duration_s,
+            _LinkBackUp(self, links, event.link),
+            priority=self.PRIORITY,
+        )
 
     def _apply_delay_spike(self, event: DelaySpike) -> None:
         links = self._resolve_links(event.link)
@@ -449,13 +541,11 @@ class FaultInjector:
             deltas.append(spiked - link.delay_s)
             link.delay_s = spiked
         self._log(f"{event.link} delay spike (+{deltas[0] * 1000:.1f} ms)")
-
-        def restore() -> None:
-            for link, delta in zip(links, deltas):
-                link.delay_s = max(link.delay_s - delta, 0.0)
-            self._log(f"{event.link} delay restored")
-
-        self.sim.schedule(event.duration_s, restore, priority=self.PRIORITY)
+        self.sim.schedule(
+            event.duration_s,
+            _DelayRestore(self, links, deltas, event.link),
+            priority=self.PRIORITY,
+        )
 
     def _apply_bandwidth_collapse(self, event: BandwidthCollapse) -> None:
         links = self._resolve_links(event.link)
@@ -463,13 +553,11 @@ class FaultInjector:
         for link in links:
             link.profile = _ScaledProfile(link.profile, event.factor)
         self._log(f"{event.link} bandwidth collapsed to {event.factor:.0%}")
-
-        def restore() -> None:
-            for link, profile in zip(links, saved):
-                link.profile = profile
-            self._log(f"{event.link} bandwidth restored")
-
-        self.sim.schedule(event.duration_s, restore, priority=self.PRIORITY)
+        self.sim.schedule(
+            event.duration_s,
+            _BandwidthRestore(self, links, saved, event.link),
+            priority=self.PRIORITY,
+        )
 
     def _apply_loss_burst(self, event: LossBurst) -> None:
         links = self._resolve_links(event.link)
@@ -480,13 +568,11 @@ class FaultInjector:
                 rng=self._rng.stream(f"faults:burst:{event.link}:{i}"),
             )
         self._log(f"{event.link} loss burst plr={event.plr}")
-
-        def restore() -> None:
-            for link, plr in zip(links, saved):
-                link.set_loss(plr)
-            self._log(f"{event.link} loss restored")
-
-        self.sim.schedule(event.duration_s, restore, priority=self.PRIORITY)
+        self.sim.schedule(
+            event.duration_s,
+            _LossRestore(self, links, saved, event.link),
+            priority=self.PRIORITY,
+        )
 
     def _apply_correlated_loss(self, event: CorrelatedLoss) -> None:
         links = self._resolve_links(event.link)
@@ -500,22 +586,19 @@ class FaultInjector:
                 loss_bad=event.loss_bad,
             )
         self._log(f"{event.link} Gilbert-Elliott loss attached")
-
-        def restore() -> None:
-            for link, model in zip(links, saved):
-                link.loss_model = model
-            self._log(f"{event.link} Gilbert-Elliott loss detached")
-
-        self.sim.schedule(event.duration_s, restore, priority=self.PRIORITY)
+        self.sim.schedule(
+            event.duration_s,
+            _LossModelRestore(self, links, saved, event.link),
+            priority=self.PRIORITY,
+        )
 
     def _apply_node_crash(self, event: NodeCrash) -> None:
         node = self._resolve_node(event.node)
         node.crash()
         self._log(f"{event.node} CRASHED")
         if event.restart_after_s is not None:
-
-            def restart() -> None:
-                node.restart()
-                self._log(f"{event.node} restarted")
-
-            self.sim.schedule(event.restart_after_s, restart, priority=self.PRIORITY)
+            self.sim.schedule(
+                event.restart_after_s,
+                _NodeRestart(self, node, event.node),
+                priority=self.PRIORITY,
+            )

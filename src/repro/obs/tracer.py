@@ -53,7 +53,7 @@ class EventTracer:
     """
 
     __slots__ = ("enabled", "records", "max_records", "dropped_records",
-                 "flushed_records", "_stream_fh")
+                 "flushed_records", "_stream")
 
     def __init__(self, max_records: int = 2_000_000) -> None:
         self.enabled = False
@@ -62,7 +62,7 @@ class EventTracer:
         self.dropped_records = 0
         # Streaming export (set_stream): records flushed to disk so far.
         self.flushed_records = 0
-        self._stream_fh: Optional[IO[str]] = None
+        self._stream = None  # Optional[repro.shard.sink.SpillWriter]
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -94,7 +94,7 @@ class EventTracer:
 
     @property
     def streaming(self) -> bool:
-        return self._stream_fh is not None
+        return self._stream is not None
 
     def set_stream(self, path: Union[str, "os.PathLike[str]"]) -> None:
         """Stream to ``path``: on buffer overflow, flush to disk instead
@@ -106,16 +106,26 @@ class EventTracer:
         bounded memory footprint.  The file is truncated now and closed
         by :meth:`close_stream`; records still buffered at close time are
         flushed then, keeping file order equal to emission order.
+
+        The writer underneath is the sharded engine's spill mechanism
+        (:class:`repro.shard.sink.SpillWriter`), imported lazily so the
+        zero-cost disabled path never touches it.
         """
+        from repro.shard.sink import SpillWriter
+
         self.close_stream()
-        self._stream_fh = open(path, "w")
+        open(path, "wb").close()  # truncate now, as documented
+        self._stream = SpillWriter(path, append=True)
 
     def flush_stream(self) -> int:
         """Force-append the current buffer to the stream; returns count."""
-        if self._stream_fh is None:
+        if self._stream is None:
             return 0
-        n = dump_jsonl(self.records, self._stream_fh)
-        self._stream_fh.flush()
+        n = 0
+        for rec in self.records:
+            self._stream.write(rec)
+            n += 1
+        self._stream.flush()
         self.records.clear()
         self.flushed_records += n
         return n
@@ -125,11 +135,11 @@ class EventTracer:
 
         Returns the total number of records written to the file.
         """
-        if self._stream_fh is None:
+        if self._stream is None:
             return 0
         self.flush_stream()
-        self._stream_fh.close()
-        self._stream_fh = None
+        self._stream.close()
+        self._stream = None
         return self.flushed_records
 
     # ------------------------------------------------------------------
@@ -139,7 +149,7 @@ class EventTracer:
     def emit(self, t: float, event: str, node: str, **fields) -> None:
         """Append one record.  Callers must guard with ``if TRACER.enabled``."""
         if len(self.records) >= self.max_records:
-            if self._stream_fh is not None:
+            if self._stream is not None:
                 self.flush_stream()
             else:
                 self.dropped_records += 1

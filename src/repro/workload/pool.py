@@ -36,6 +36,7 @@ record objects on demand (and caches them until the next mutation).
 from __future__ import annotations
 
 from array import array
+from functools import partial
 from typing import Optional, Sequence
 
 from repro.core.config import LeotpConfig
@@ -125,6 +126,22 @@ class FlowPool:
         self._live: dict[str, int] = {}  # flow_id -> slot index
         self._consumers: dict[str, Consumer] = {}  # live LEOTP endpoints
         self._delivered: dict[str, int] = {}  # TCP completion tracking
+        # Result streaming (sharded runs): closed slots spill to a JSONL
+        # sink at epoch boundaries and leave the struct-of-arrays state,
+        # keeping resident size proportional to *live* flows.  Summary
+        # statistics for spilled flows accumulate in compact parallel
+        # arrays, keyed by the flow's global slot index so the summary
+        # recomputes in exactly the unspilled slot order (bit-identical
+        # percentiles/means no matter when or whether slots spilled).
+        self._result_sink = None  # duck-typed: .write(dict) / .flush()
+        self._global_idx = array("q")   # per in-RAM slot: global index
+        self._slots_created = 0
+        self.spilled_flows = 0
+        self._spilled_ids: list[str] = []   # for the finalize soft sweep
+        self._acc_idx = array("q")      # spilled closed flows: global idx
+        self._acc_fct = array("d")      # fct_s, NaN when not completed
+        self._acc_goodput = array("d")  # goodput, NaN when undefined
+        self._spilled_reasons: dict[str, int] = {}
         # Counters.
         self.arrivals = 0
         self.completed = 0
@@ -252,6 +269,8 @@ class FlowPool:
         self._finish_s.append(float("nan"))
         self._status.append(_LIVE)
         self._reason_idx.append(0)
+        self._global_idx.append(self._slots_created)
+        self._slots_created += 1
         self._records_cache = None
         return slot
 
@@ -298,10 +317,10 @@ class FlowPool:
             flow_id,
             self.config,
             total_bytes=demand.size_bytes,
-            deliver=lambda nbytes, ts, fid=flow_id: self._on_delivery(
-                fid, nbytes
-            ),
-            on_complete=lambda c, fid=flow_id: self._complete(fid),
+            # partials over bound methods (not lambdas): live consumers
+            # must survive pickling for shard checkpoint/resume.
+            deliver=partial(self._deliver_cb, flow_id),
+            on_complete=partial(self._complete_cb, flow_id),
         )
         access = DuplexLink(
             self.sim,
@@ -361,6 +380,14 @@ class FlowPool:
 
     def _on_delivery(self, flow_id: str, nbytes: int) -> None:
         self.fairness.on_delivery(flow_id, nbytes, self.sim.now)
+
+    def _deliver_cb(self, flow_id: str, nbytes: int, ts: float) -> None:
+        """Consumer ``deliver`` adapter (picklable partial target)."""
+        self._on_delivery(flow_id, nbytes)
+
+    def _complete_cb(self, flow_id: str, consumer: Consumer) -> None:
+        """Consumer ``on_complete`` adapter (picklable partial target)."""
+        self._complete(flow_id)
 
     def _on_tcp_delivery(self, flow_id: str, nbytes: int, total: int) -> None:
         self._on_delivery(flow_id, nbytes)
@@ -453,11 +480,95 @@ class FlowPool:
         self._records_cache = None
         # An Interest in flight when its flow was aborted can reach a
         # responder after retirement and rebuild the (soft, on-demand)
-        # per-flow state; sweep every recorded flow once more so nothing
-        # outlives the run.
+        # per-flow state; sweep every recorded flow once more — including
+        # flows whose slots already spilled to the result sink — so
+        # nothing outlives the run.
+        for flow_id in self._spilled_ids:
+            self._retire(flow_id)
         for flow_id in self._ids:
             self._retire(flow_id)
         self.budget.set_account("flows", 0)
+
+    # ------------------------------------------------------------------
+    # Result streaming (sharded runs)
+    # ------------------------------------------------------------------
+
+    def set_result_sink(self, sink) -> None:
+        """Stream closed flows' result rows to ``sink`` (``.write(dict)``).
+
+        With a sink attached, :meth:`spill_closed` — called by the shard
+        worker at every epoch boundary — moves completed/aborted slots
+        out of the struct-of-arrays state into the sink, so resident
+        per-flow bookkeeping stays proportional to *live* flows while the
+        final :meth:`summary` stays bit-identical with an unspilled run.
+        """
+        self._result_sink = sink
+
+    def _spill_slot(self, slot: int) -> None:
+        """Write one closed slot to the sink and accumulate its stats."""
+        finish = self._finish_s[slot]
+        finish_val: Optional[float] = finish if finish == finish else None
+        aborted = self._status[slot] == _ABORTED
+        ridx = self._reason_idx[slot]
+        reason = self._reasons[ridx - 1] if ridx else None
+        gidx = self._global_idx[slot]
+        # Fixed key order keeps spill files byte-stable across runs.
+        self._result_sink.write({
+            "idx": gidx,
+            "flow": self._ids[slot],
+            "arrival_s": self._arrival_s[slot],
+            "size_b": self._size_b[slot],
+            "start_s": self._start_s[slot],
+            "finish_s": finish_val,
+            "status": "aborted" if aborted else "completed",
+            "reason": reason,
+        })
+        completed = finish_val is not None and not aborted
+        fct = (finish_val - self._start_s[slot]) if completed else None
+        self._acc_idx.append(gidx)
+        self._acc_fct.append(fct if fct is not None else float("nan"))
+        self._acc_goodput.append(
+            self._size_b[slot] / fct
+            if fct is not None and fct > 0
+            else float("nan")
+        )
+        if aborted and reason is not None:
+            self._spilled_reasons[reason] = (
+                self._spilled_reasons.get(reason, 0) + 1
+            )
+        self._spilled_ids.append(self._ids[slot])
+        self.spilled_flows += 1
+
+    def spill_closed(self) -> int:
+        """Spill every closed slot to the result sink; returns the count.
+
+        No-op without a sink.  Slots spill in slot order (== global
+        order, since earlier spills only ever removed a prefix-closed
+        subset), and the surviving live slots are compacted in place
+        with their global indices preserved.
+        """
+        if self._result_sink is None:
+            return 0
+        n = len(self._ids)
+        closed = [i for i in range(n) if self._status[i] != _LIVE]
+        if not closed:
+            return 0
+        for slot in closed:
+            self._spill_slot(slot)
+        keep = [i for i in range(n) if self._status[i] == _LIVE]
+        self._ids = [self._ids[i] for i in keep]
+        self._arrival_s = array("d", (self._arrival_s[i] for i in keep))
+        self._size_b = array("q", (self._size_b[i] for i in keep))
+        self._start_s = array("d", (self._start_s[i] for i in keep))
+        self._finish_s = array("d", (self._finish_s[i] for i in keep))
+        self._status = bytearray(self._status[i] for i in keep)
+        self._reason_idx = bytearray(self._reason_idx[i] for i in keep)
+        self._global_idx = array("q", (self._global_idx[i] for i in keep))
+        # Every kept slot is live (closed slots all spilled), so the
+        # live map is just the compacted enumeration.
+        self._live = {fid: pos for pos, fid in enumerate(self._ids)}
+        self._records_cache = None
+        return len(closed)
 
     # ------------------------------------------------------------------
     # Reporting / observability
@@ -506,15 +617,30 @@ class FlowPool:
         return run
 
     def summary(self) -> dict[str, float]:
-        """Aggregate outcome of the run (call after :meth:`finalize`)."""
+        """Aggregate outcome of the run (call after :meth:`finalize`).
+
+        Bit-identical whether or not slots spilled: samples from the
+        spill accumulators and the resident slots are merged and sorted
+        by global slot index, so the float arrays fed to the percentile
+        and mean computations match an unspilled run element for element.
+        """
         from repro.analysis.stats import fct_percentiles
 
-        fcts = [r.fct_s for r in self.records if r.fct_s is not None]
-        goodputs = [
-            r.goodput_bytes_s
-            for r in self.records
-            if r.goodput_bytes_s is not None
-        ]
+        samples: list[tuple[int, float, float]] = list(
+            zip(self._acc_idx, self._acc_fct, self._acc_goodput)
+        )
+        nan = float("nan")
+        for slot, record in enumerate(self.records):
+            fct = record.fct_s
+            goodput = record.goodput_bytes_s
+            samples.append((
+                self._global_idx[slot],
+                fct if fct is not None else nan,
+                goodput if goodput is not None else nan,
+            ))
+        samples.sort(key=lambda s: s[0])
+        fcts = [f for _, f, _ in samples if f == f]  # NaN != NaN
+        goodputs = [g for _, _, g in samples if g == g]
         out: dict[str, float] = {
             "arrivals": float(self.arrivals),
             "completed": float(self.completed),
@@ -524,7 +650,7 @@ class FlowPool:
             "budget_peak_bytes": float(self.budget.peak_bytes),
             "budget_breaches": float(self.budget.breaches),
         }
-        reasons: dict[str, int] = {}
+        reasons: dict[str, int] = dict(self._spilled_reasons)
         for record in self.records:
             if record.aborted and record.abort_reason is not None:
                 reasons[record.abort_reason] = (

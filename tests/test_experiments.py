@@ -102,6 +102,7 @@ class TestRegistry:
             "fig19", "table2", "ablation_vph", "ablation_params",
             "related_snoop", "constellation_study", "chaos", "churn",
             "gateway", "multicast", "workload", "workload_sharded",
+            "workload_sharded_xl",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

@@ -1,0 +1,328 @@
+"""Scale machinery of the sharded engine (DESIGN.md §14).
+
+Three mechanisms carry :mod:`repro.shard` from 10⁴ to 10⁵ flows, and
+each has a determinism obligation these tests pin:
+
+* **streamed results** — spilling closed flows to per-shard JSONL must
+  not change a single byte of the rows, the ledger, or the merged flow
+  file, for any buffer size or ``jobs`` value;
+* **checkpoint/resume** — a run killed between checkpoints and resumed
+  (with a *different* ``jobs`` value) must reproduce the uninterrupted
+  run bit for bit, spill files included; corrupt or mismatched
+  checkpoints must be refused loudly;
+* **slim exchange** — the delta-encoded report wire format must be
+  lossless, verified here by explicit round-trips.
+
+Plus the error path: a failing shard must surface as
+:class:`~repro.shard.ShardError` naming the shard, and the engine must
+come back clean for the next run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.shard import (
+    CheckpointError,
+    ShardError,
+    ShardPlan,
+    ShardReport,
+    SpillWriter,
+    iter_jsonl,
+    load_manifest,
+    merge_spills,
+    run_sharded,
+    spill_name,
+)
+from repro.shard.sink import truncate_file
+from repro.shard.worker import (
+    _GroupContext,
+    _ShardState,
+    _encode_report,
+    decode_report,
+)
+
+#: Small plan with every moving part alive: four shards (one faulted),
+#: five exchange epochs, enough arrivals that spills have real rows.
+PLAN = ShardPlan(n_shards=4, arrivals_per_shard=12, drain_s=2.0)
+
+
+def _payload(result: dict) -> str:
+    return json.dumps(
+        {"rows": result["rows"], "ledger": result["ledger"]}, sort_keys=True
+    )
+
+
+def _merged_bytes(result: dict) -> bytes:
+    with open(result["sink"]["merged_path"], "rb") as fh:
+        return fh.read()
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """One uninterrupted streamed run: the reference for every resume."""
+    sink = tmp_path_factory.mktemp("baseline-sink")
+    out = run_sharded(PLAN, jobs=1, sink_dir=str(sink))
+    return out
+
+
+# ----------------------------------------------------------------------
+# SpillWriter: the bounded-buffer JSONL primitive
+# ----------------------------------------------------------------------
+
+
+def test_spill_writer_lazy_open_and_durable_offsets(tmp_path):
+    path = tmp_path / "rows.jsonl"
+    writer = SpillWriter(path, buffer_bytes=1 << 20)
+    writer.write({"a": 1})
+    writer.write({"a": 2})
+    assert not path.exists()  # nothing durable yet: buffer below bound
+    assert writer.tell() == 0
+    offset = writer.flush()
+    assert offset == path.stat().st_size > 0
+    assert writer.tell() == offset
+    assert writer.close() == offset
+    assert [r["a"] for r in iter_jsonl(path)] == [1, 2]
+
+
+def test_spill_writer_bytes_independent_of_buffer_size(tmp_path):
+    records = [{"idx": i, "flow": f"f{i:03d}", "x": i * 0.5} for i in range(50)]
+    paths = []
+    for buffer_bytes in (0, 64, 1 << 20):
+        path = tmp_path / f"buf{buffer_bytes}.jsonl"
+        writer = SpillWriter(path, buffer_bytes=buffer_bytes)
+        for record in records:
+            writer.write(record)
+        writer.close()
+        paths.append(path.read_bytes())
+    assert paths[0] == paths[1] == paths[2]
+
+
+def test_spill_writer_pickle_requires_flush_then_appends(tmp_path):
+    path = tmp_path / "rows.jsonl"
+    writer = SpillWriter(path, buffer_bytes=1 << 20)
+    writer.write({"n": 0})
+    with pytest.raises(RuntimeError, match="unflushed"):
+        pickle.dumps(writer)
+    writer.flush()
+    restored = pickle.loads(pickle.dumps(writer))
+    writer.close()
+    restored.write({"n": 1})
+    restored.close()
+    assert [r["n"] for r in iter_jsonl(path)] == [0, 1]
+    assert restored.records_written == 2
+
+
+def test_truncate_file_edge_cases(tmp_path):
+    path = tmp_path / "spill.jsonl"
+    # Missing file at offset 0 is fine; at a positive offset it is not.
+    assert truncate_file(path, 0) == 0
+    with pytest.raises(FileNotFoundError):
+        truncate_file(path, 10)
+    path.write_bytes(b"0123456789")
+    assert truncate_file(path, 4) == 6
+    assert path.read_bytes() == b"0123"
+    with pytest.raises(ValueError):
+        truncate_file(path, 400)  # shorter than the recorded offset
+
+
+def test_merge_spills_orders_and_skips_missing(tmp_path):
+    (tmp_path / "a.jsonl").write_bytes(b'{"s":0}\n')
+    (tmp_path / "c.jsonl").write_bytes(b'{"s":2}\n')
+    out = tmp_path / "merged.jsonl"
+    total = merge_spills(
+        [tmp_path / "a.jsonl", tmp_path / "b.jsonl", tmp_path / "c.jsonl"],
+        out,
+    )
+    assert total == out.stat().st_size
+    assert [r["s"] for r in iter_jsonl(out)] == [0, 2]
+
+
+# ----------------------------------------------------------------------
+# Slim exchange: delta-encoded reports are lossless
+# ----------------------------------------------------------------------
+
+
+def test_delta_report_roundtrip_is_lossless():
+    ctx = _GroupContext(PLAN, [0], None)
+    last: dict[int, ShardReport] = {}
+    rep0 = ShardReport(
+        shard=0, epoch=0, sim_time_s=PLAN.epoch_end_s(0),
+        events_executed=10, arrivals=3, completed=1, aborted=0,
+        live_flows=2, backlog_bytes=100, cache_stored_bytes=5,
+        cache_capacity_bytes=100, budget_total_bytes=200,
+        budget_breaches=0, boundary_stored_before=5,
+        boundary_evicted_bytes=0,
+    )
+    entry0 = _encode_report(ctx, rep0, 0)
+    assert entry0[1] is None and entry0[2] is not None  # full on first send
+    assert decode_report(PLAN, last, entry0, 0) == rep0
+
+    rep1 = replace(
+        rep0, epoch=1, sim_time_s=PLAN.epoch_end_s(1),
+        events_executed=25, completed=3, live_flows=0,
+    )
+    entry1 = _encode_report(ctx, rep1, 1)
+    assert entry1[2] is None
+    assert entry1[1] == {"events_executed": 25, "completed": 3,
+                         "live_flows": 0}
+    assert decode_report(PLAN, last, entry1, 1) == rep1
+
+    # A fully idle epoch transmits an empty dict and still reconstructs.
+    rep2 = replace(rep1, epoch=2, sim_time_s=PLAN.epoch_end_s(2))
+    entry2 = _encode_report(ctx, rep2, 2)
+    assert entry2[1] == {}
+    assert decode_report(PLAN, last, entry2, 2) == rep2
+
+
+def test_delta_report_without_baseline_fails_loudly():
+    with pytest.raises(RuntimeError, match="without a baseline"):
+        decode_report(PLAN, {}, (0, {}, None), 1)
+
+
+# ----------------------------------------------------------------------
+# Streamed results: spilling never changes the deterministic payload
+# ----------------------------------------------------------------------
+
+
+def test_streamed_rows_match_unspilled_and_jobs_invariant(baseline, tmp_path):
+    unspilled = run_sharded(PLAN, jobs=1)
+    assert _payload(baseline) == _payload(unspilled)
+
+    two = run_sharded(PLAN, jobs=2, sink_dir=str(tmp_path / "sink2"))
+    assert _payload(baseline) == _payload(two)
+    assert _merged_bytes(baseline) == _merged_bytes(two)
+
+    # Every arrival ends closed, so it appears exactly once in the merge.
+    records = list(iter_jsonl(baseline["sink"]["merged_path"]))
+    assert len(records) == PLAN.n_shards * PLAN.arrivals_per_shard
+    assert baseline["sink"]["merged_bytes"] == len(_merged_bytes(baseline))
+
+
+# ----------------------------------------------------------------------
+# Checkpoint/resume: kill-then-resume reproduces the run bit for bit
+# ----------------------------------------------------------------------
+
+
+def test_kill_between_checkpoints_then_resume_bit_identical(
+    baseline, tmp_path
+):
+    sink, ckpt = str(tmp_path / "sink"), str(tmp_path / "ckpt")
+    partial = run_sharded(
+        PLAN, jobs=1, sink_dir=sink, checkpoint_dir=ckpt,
+        checkpoint_every=2, stop_after_epoch=2,
+    )
+    assert partial["stopped_after_epoch"] == 2
+    assert partial["completed_epochs"] == 3
+    # The stop landed *past* the last committed checkpoint: resume must
+    # rewind the spills to the epoch-2 boundary the manifest recorded.
+    manifest = load_manifest(ckpt)
+    assert manifest["completed_epochs"] == 2
+    spill_path = os.path.join(sink, spill_name(0))
+    if os.path.exists(spill_path):
+        assert os.path.getsize(spill_path) >= manifest["shards"]["0"][
+            "spill_offset"
+        ]
+
+    resumed = run_sharded(PLAN, jobs=2, resume_from=ckpt)
+    assert resumed["resumed_from_epoch"] == 2
+    assert _payload(resumed) == _payload(baseline)
+    assert _merged_bytes(resumed) == _merged_bytes(baseline)
+
+
+def test_resume_from_first_boundary(baseline, tmp_path):
+    sink, ckpt = str(tmp_path / "sink"), str(tmp_path / "ckpt")
+    partial = run_sharded(
+        PLAN, jobs=1, sink_dir=sink, checkpoint_dir=ckpt,
+        checkpoint_every=1, stop_after_epoch=0,
+    )
+    assert partial["completed_epochs"] == 1
+    assert load_manifest(ckpt)["completed_epochs"] == 1
+    resumed = run_sharded(PLAN, jobs=1, resume_from=ckpt)
+    assert resumed["resumed_from_epoch"] == 1
+    assert _payload(resumed) == _payload(baseline)
+    assert _merged_bytes(resumed) == _merged_bytes(baseline)
+
+
+def test_resume_after_final_epoch_is_a_noop(baseline, tmp_path):
+    sink, ckpt = str(tmp_path / "sink"), str(tmp_path / "ckpt")
+    full = run_sharded(PLAN, jobs=1, sink_dir=sink, checkpoint_dir=ckpt)
+    assert load_manifest(ckpt)["completed_epochs"] == PLAN.n_epochs
+    resumed = run_sharded(PLAN, jobs=1, resume_from=ckpt)
+    assert resumed["resumed_from_epoch"] == PLAN.n_epochs
+    assert _payload(resumed) == _payload(full) == _payload(baseline)
+    assert _merged_bytes(resumed) == _merged_bytes(baseline)
+
+
+def test_resume_refuses_a_different_plan(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    run_sharded(
+        PLAN, jobs=1, checkpoint_dir=ckpt,
+        checkpoint_every=1, stop_after_epoch=0,
+    )
+    other = ShardPlan(n_shards=4, arrivals_per_shard=12, drain_s=2.0, seed=9)
+    with pytest.raises(CheckpointError, match="fingerprint"):
+        run_sharded(other, jobs=1, resume_from=ckpt)
+
+
+def test_resume_refuses_corrupt_shard_pickle(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    run_sharded(
+        PLAN, jobs=1, checkpoint_dir=ckpt,
+        checkpoint_every=1, stop_after_epoch=0,
+    )
+    name = load_manifest(ckpt)["shards"]["1"]["file"]
+    path = os.path.join(ckpt, name)
+    blob = bytearray(open(path, "rb").read())
+    blob[len(blob) // 2] ^= 0xFF
+    with open(path, "wb") as fh:
+        fh.write(bytes(blob))
+    with pytest.raises(CheckpointError, match="corrupt"):
+        run_sharded(PLAN, jobs=1, resume_from=ckpt)
+
+
+def test_resume_refuses_corrupt_manifest(tmp_path):
+    ckpt = str(tmp_path / "ckpt")
+    run_sharded(
+        PLAN, jobs=1, checkpoint_dir=ckpt,
+        checkpoint_every=1, stop_after_epoch=0,
+    )
+    with open(os.path.join(ckpt, "manifest.json"), "w") as fh:
+        fh.write("{not json")
+    with pytest.raises(CheckpointError, match="JSON"):
+        run_sharded(PLAN, jobs=1, resume_from=ckpt)
+    with pytest.raises(CheckpointError, match="manifest"):
+        run_sharded(PLAN, jobs=1, resume_from=str(tmp_path / "nowhere"))
+
+
+# ----------------------------------------------------------------------
+# Error path: a failing shard is named, and the engine comes back clean
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_shard_error_names_failing_shard(monkeypatch, jobs):
+    original = _ShardState.run_epoch
+
+    def boom(self, epoch, observe):
+        if self.index == 2:
+            raise ValueError("injected failure")
+        return original(self, epoch, observe)
+
+    # Patched before the executors fork, so worker processes inherit it.
+    monkeypatch.setattr(_ShardState, "run_epoch", boom)
+    with pytest.raises(ShardError) as excinfo:
+        run_sharded(PLAN, jobs=jobs)
+    assert excinfo.value.shard == 2
+    assert excinfo.value.epoch == 0
+    assert "ValueError: injected failure" in str(excinfo.value)
+
+    monkeypatch.undo()
+    ok = run_sharded(PLAN, jobs=jobs)
+    total = ok["rows"][-1]
+    assert total["completed"] + total["aborted"] == total["arrivals"]

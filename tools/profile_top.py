@@ -9,9 +9,12 @@ so "where does the whole harness spend its time" is one command::
     python tools/profile_top.py results/profiles/*.pstats
     python tools/profile_top.py results/profiles -n 40 --sort tottime
 
-Directories are expanded to the ``.pstats`` files directly inside them.
-The profile-first rule for kernel work: run this before optimising, and
-only touch what is actually at the top.
+Directories are expanded *recursively* to every ``.pstats`` file below
+them, so sharded experiments — whose worker processes dump one profile
+each to ``results/profiles/shards/shard-groupNNN-pidNNN.pstats`` — merge
+into the same report as the parent's per-experiment dump with a single
+``results/profiles`` argument.  The profile-first rule for kernel work:
+run this before optimising, and only touch what is actually at the top.
 """
 
 from __future__ import annotations
@@ -23,17 +26,18 @@ import sys
 
 
 def collect_paths(args_paths: list[str]) -> list[str]:
-    """Expand directory arguments to their .pstats files; keep files as-is."""
+    """Expand directories (recursively) to .pstats files; keep files as-is."""
     paths: list[str] = []
     for path in args_paths:
         if os.path.isdir(path):
             entries = sorted(
-                os.path.join(path, name)
-                for name in os.listdir(path)
+                os.path.join(root, name)
+                for root, _dirs, names in os.walk(path)
+                for name in names
                 if name.endswith(".pstats")
             )
             if not entries:
-                raise FileNotFoundError(f"no .pstats files in {path!r}")
+                raise FileNotFoundError(f"no .pstats files under {path!r}")
             paths.extend(entries)
         else:
             paths.append(path)
