@@ -13,6 +13,7 @@ from repro.analysis.owd_model import OwdDistribution, simulate_owd_e2e, simulate
 from repro.analysis.report import (
     cache_efficiency,
     churn_summary,
+    content_summary,
     event_counts,
     rate_ladder,
     recovery_latency_ms,
@@ -32,6 +33,7 @@ __all__ = [
     "OwdDistribution",
     "cache_efficiency",
     "churn_summary",
+    "content_summary",
     "event_counts",
     "rate_ladder",
     "recovery_latency_ms",

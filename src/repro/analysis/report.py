@@ -129,7 +129,17 @@ def rate_ladder(samples: Sequence[dict], run: Optional[str] = None) -> list[dict
 
 
 def cache_efficiency(records: Sequence[dict]) -> list[dict]:
-    """Per-node cache effectiveness from ``cache_hit``/``cache_miss`` records."""
+    """Per-node cache effectiveness from ``cache_hit``/``cache_miss`` records.
+
+    Rows come back sorted by node name — for the standard chains the
+    Midnode names embed their chain position, so the result reads as a
+    producer→consumer *hit-ratio ladder*.  Besides the per-lookup
+    ``hit_ratio``, each row carries the byte-weighted ratio
+    (``byte_hit_ratio``) and, under content workloads
+    (:mod:`repro.content`), the cross-flow share: ``cross_bytes`` is how
+    many of the node's served bytes were fetched by a *different* flow,
+    and ``cross_ratio`` normalises that by the bytes looked up.
+    """
     per_node: dict[str, dict] = {}
     for rec in records:
         if rec["event"] not in ("cache_hit", "cache_miss"):
@@ -137,16 +147,21 @@ def cache_efficiency(records: Sequence[dict]) -> list[dict]:
         row = per_node.setdefault(
             rec["node"],
             {"node": rec["node"], "lookups": 0, "hits": 0,
-             "hit_bytes": 0, "miss_bytes": 0},
+             "hit_bytes": 0, "miss_bytes": 0, "cross_bytes": 0},
         )
         row["lookups"] += 1
         if rec["event"] == "cache_hit":
             row["hits"] += 1
         row["hit_bytes"] += rec.get("hit_bytes", 0)
         row["miss_bytes"] += rec.get("miss_bytes", 0)
+        row["cross_bytes"] += rec.get("cross_bytes", 0)
     out = []
-    for row in per_node.values():
+    for node in sorted(per_node):
+        row = per_node[node]
+        looked_up = row["hit_bytes"] + row["miss_bytes"]
         row["hit_ratio"] = row["hits"] / row["lookups"] if row["lookups"] else 0.0
+        row["byte_hit_ratio"] = row["hit_bytes"] / looked_up if looked_up else 0.0
+        row["cross_ratio"] = row["cross_bytes"] / looked_up if looked_up else 0.0
         out.append(row)
     return out
 
@@ -239,6 +254,69 @@ def workload_summary(rows: Sequence[dict], title: str = "workload") -> str:
     return "\n".join(lines)
 
 
+def content_summary(rows: Sequence[dict], title: str = "content") -> str:
+    """Human-readable summary of ``content_study`` rows.
+
+    ``rows`` are the study's result-table rows, tagged by ``section``:
+    the placement x eviction ``matrix`` cells, the multicast ``fanout``
+    row, and the per-shard ``sharded`` rows.  Renders the sharing story:
+    the no-catalog floor, the best placement cell versus the legacy pool
+    policy, the fan-out amplification, and the sharded cell's totals.
+    """
+    lines = [f"-- content summary: {title} --"]
+    matrix = [r for r in rows if r.get("section") == "matrix"]
+    cells = [r for r in matrix if r.get("placement") not in ("classic",)]
+    classic = next(
+        (r for r in matrix if r.get("placement") == "classic"), None
+    )
+    if classic is not None:
+        lines.append(
+            f"classic (no catalog): cross-flow hit ratio "
+            f"{classic.get('cross_hit_ratio', 0.0):.3f} — the floor the "
+            f"catalog exists to beat"
+        )
+    if cells:
+        best = max(cells, key=lambda r: r.get("cross_hit_ratio", 0.0))
+        lines.append(
+            f"best cell {best.get('placement')}/{best.get('eviction')}: "
+            f"cross-flow hit ratio {best.get('cross_hit_ratio', 0.0):.3f}, "
+            f"origin load -{best.get('origin_load_reduction', 0.0) * 100:.0f}%, "
+            f"FCT p50 {best.get('fct_p50_ms', 0.0):.1f} ms"
+        )
+        legacy = next(
+            (r for r in cells if r.get("placement") == "legacy"), None
+        )
+        if legacy is not None and legacy is not best:
+            lines.append(
+                f"legacy pool policy: cross-flow hit ratio "
+                f"{legacy.get('cross_hit_ratio', 0.0):.3f}, origin load "
+                f"-{legacy.get('origin_load_reduction', 0.0) * 100:.0f}% "
+                f"(placement cells to compare against)"
+            )
+    fanout = next((r for r in rows if r.get("section") == "fanout"), None)
+    if fanout is not None:
+        lines.append(
+            f"fanout: {int(fanout.get('completed', 0))}/"
+            f"{int(fanout.get('arrivals', 0))} subscribers served with "
+            f"{fanout.get('upstream_copies', 0.0):.2f} upstream copies "
+            f"({int(fanout.get('interests_aggregated', 0))} Interests "
+            f"aggregated, {int(fanout.get('fanout_packets', 0))} fan-out "
+            f"packets)"
+        )
+    shards = [
+        r for r in rows
+        if r.get("section") == "sharded" and r.get("shard") != "total"
+    ]
+    if shards:
+        ratios = [r.get("cross_hit_ratio", 0.0) for r in shards]
+        lines.append(
+            f"sharded cell: {len(shards)} shards, cross-flow hit ratio "
+            f"{min(ratios):.3f}..{max(ratios):.3f} per shard; rows are "
+            f"bit-identical for any LEOTP_SHARD_JOBS and across resume"
+        )
+    return "\n".join(lines)
+
+
 def churn_summary(rows: Sequence[dict], title: str = "churn") -> str:
     """Human-readable summary of geometry-driven churn rows.
 
@@ -324,13 +402,20 @@ def run_summary(
 
     cache_rows = cache_efficiency(records)
     if cache_rows:
-        lines.append("cache efficiency:")
+        lines.append("cache efficiency (per-hop hit-ratio ladder):")
         for row in cache_rows:
-            lines.append(
+            line = (
                 f"  {row['node']:<16} {row['lookups']:>6} lookups, "
-                f"hit ratio {row['hit_ratio']:.2f}, "
+                f"hit ratio {row['hit_ratio']:.2f} "
+                f"(bytes {row['byte_hit_ratio']:.2f}), "
                 f"{row['hit_bytes']} B served from cache"
             )
+            if row["cross_bytes"]:
+                line += (
+                    f", {row['cross_bytes']} B cross-flow "
+                    f"(ratio {row['cross_ratio']:.2f})"
+                )
+            lines.append(line)
 
     ladder = rate_ladder(samples)
     if ladder:

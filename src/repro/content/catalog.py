@@ -1,0 +1,118 @@
+"""Seeded Zipf catalog of named content objects.
+
+A :class:`ContentCatalog` materialises a :class:`ContentSpec` into N
+named objects — ``obj00000`` ... — each with a fixed byte size and a
+Zipf(s) popularity weight (object ``i`` is the rank-``i+1`` most popular
+item).  Workload generation samples object ids from the popularity
+distribution, so many concurrent flows request the *same* named bytes
+and midnode caches serve real cross-flow hits instead of only
+retransmissions.
+
+Determinism: :meth:`ContentCatalog.build` is a pure function of
+``(spec, rng state)`` — it draws exactly ``spec.n_objects`` lognormal
+sizes from the generator and nothing else, so a workload spec that
+embeds a content spec stays a pure function of ``(spec, seed)`` (the
+catalog consumes a deterministic prefix of the arrivals stream; see
+:func:`repro.workload.arrivals.generate_demands`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def object_name(object_id: int) -> str:
+    """Canonical cache-key name for a catalog object."""
+    return f"obj{object_id:05d}"
+
+
+def zipf_weights(n_objects: int, s: float) -> np.ndarray:
+    """Normalised Zipf(s) popularity over ranks 1..n (rank 1 hottest)."""
+    if n_objects < 1:
+        raise ValueError("need at least one object")
+    if s < 0:
+        raise ValueError("Zipf exponent must be non-negative")
+    ranks = np.arange(1, n_objects + 1, dtype=np.float64)
+    weights = ranks ** (-s)
+    return weights / weights.sum()
+
+
+@dataclass(frozen=True, kw_only=True)
+class ContentSpec:
+    """Declarative description of a content catalog.
+
+    Sizes are lognormal (parameterised by the mean, like
+    :class:`~repro.workload.arrivals.WorkloadSpec` flow sizes) with hard
+    clamps; popularity is Zipf with exponent ``zipf_s`` — 0.8–1.2 covers
+    the web/CDN range the NDN-LEO cache-placement literature studies.
+    """
+
+    n_objects: int = 256
+    zipf_s: float = 0.8
+    mean_object_bytes: int = 12_000
+    size_sigma: float = 0.6
+    min_object_bytes: int = 2_048
+    max_object_bytes: int = 65_536
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1:
+            raise ValueError("n_objects must be positive")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be non-negative")
+        if not 0 < self.min_object_bytes <= self.max_object_bytes:
+            raise ValueError("need 0 < min_object_bytes <= max_object_bytes")
+        if self.mean_object_bytes <= 0:
+            raise ValueError("mean_object_bytes must be positive")
+
+
+class ContentCatalog:
+    """Concrete objects (sizes + popularity) drawn from a spec."""
+
+    def __init__(self, spec: ContentSpec, sizes: np.ndarray) -> None:
+        self.spec = spec
+        self.sizes = sizes
+        self.weights = zipf_weights(spec.n_objects, spec.zipf_s)
+        self._cum_weights = np.cumsum(self.weights)
+        # Guard against float drift: the last cumulative bin must catch
+        # every u in [0, 1).
+        self._cum_weights[-1] = 1.0
+
+    @classmethod
+    def build(cls, spec: ContentSpec, rng: np.random.Generator) -> "ContentCatalog":
+        """Draw object sizes; consumes exactly ``n_objects`` lognormals."""
+        mu = math.log(spec.mean_object_bytes) - spec.size_sigma**2 / 2.0
+        raw = rng.lognormal(mean=mu, sigma=spec.size_sigma, size=spec.n_objects)
+        sizes = np.clip(raw, spec.min_object_bytes, spec.max_object_bytes)
+        return cls(spec, sizes.astype(np.int64))
+
+    @property
+    def n_objects(self) -> int:
+        return self.spec.n_objects
+
+    @property
+    def total_bytes(self) -> int:
+        """Catalog footprint if every object were cached once."""
+        return int(self.sizes.sum())
+
+    def object_size(self, object_id: int) -> int:
+        return int(self.sizes[object_id])
+
+    def block_span(self, object_id: int, block_bytes: int) -> int:
+        """Cache blocks the object occupies (object→block mapping)."""
+        return -(-self.object_size(object_id) // block_bytes)
+
+    def hot_set_bytes(self, top_k: int) -> int:
+        """Bytes needed to cache the ``top_k`` most popular objects."""
+        return int(self.sizes[: min(top_k, self.n_objects)].sum())
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` object ids from the popularity distribution.
+
+        Inverse-CDF sampling over the cumulative weights: one uniform
+        draw per flow, deterministic for a given generator state.
+        """
+        u = rng.random(n)
+        return np.searchsorted(self._cum_weights, u, side="right")

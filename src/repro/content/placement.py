@@ -1,0 +1,118 @@
+"""Cache placement and eviction policy matrix.
+
+"Cache Placement in an NDN Based LEO Satellite Network Constellation"
+(PAPERS.md) shows that *where* constellation cache capacity sits
+dominates hit ratio under Zipf demand.  This module expresses that
+study's axes for our shared-chain pools:
+
+* **placement** — how one global cache budget is split across the
+  chain's Midnodes.  ``uniform`` splits evenly; ``gateway`` concentrates
+  capacity at the chain edges (the ground-gateway hops, nearest the
+  consumers and the producer); ``hot_orbit`` concentrates it mid-chain
+  (the heavily shared orbital segment).
+* **eviction** — the pool-wide victim policy when the budget overflows:
+  ``fullest`` (the historic fullest-member heuristic), ``lru`` (the
+  globally least-recently-touched block, via pool-shared access ticks),
+  and ``lfu`` (the globally least-frequently-hit block).
+
+A :class:`CachePolicy` names one matrix cell and travels through
+:class:`~repro.experiments.common.PathSpec` / ``FlowPool(cache_policy=)``
+/ :class:`~repro.shard.plan.ShardPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+PLACEMENTS = ("uniform", "gateway", "hot_orbit")
+EVICTION_POLICIES = ("fullest", "lru", "lfu")
+
+#: Weight ratio between emphasised and de-emphasised chain positions.
+_EMPHASIS = 4.0
+
+
+@dataclass(frozen=True, kw_only=True)
+class CachePolicy:
+    """One cell of the placement × eviction matrix."""
+
+    placement: str = "uniform"
+    eviction: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {self.placement!r}; "
+                f"choose from {PLACEMENTS}"
+            )
+        if self.eviction not in EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {self.eviction!r}; "
+                f"choose from {EVICTION_POLICIES}"
+            )
+
+
+def placement_weights(placement: str, n_members: int) -> tuple[float, ...]:
+    """Relative capacity weights for ``n_members`` chain positions.
+
+    Member 0 is the Midnode next to the Producer; the last member is the
+    consumer-side hub.  Ties and single-member chains degrade to uniform.
+    """
+    if n_members < 1:
+        raise ValueError("need at least one member")
+    if placement not in PLACEMENTS:
+        raise ValueError(
+            f"unknown placement {placement!r}; choose from {PLACEMENTS}"
+        )
+    if placement == "uniform" or n_members <= 2:
+        return (1.0,) * n_members
+    weights = [1.0] * n_members
+    if placement == "gateway":
+        weights[0] = weights[-1] = _EMPHASIS
+    else:  # hot_orbit: emphasise the middle position(s)
+        mid = n_members // 2
+        weights[mid] = _EMPHASIS
+        if n_members % 2 == 0:
+            weights[mid - 1] = _EMPHASIS
+    return tuple(weights)
+
+
+def member_capacities(
+    total_bytes: int, weights: tuple[float, ...] | list[float]
+) -> list[int]:
+    """Split ``total_bytes`` across members proportionally to ``weights``.
+
+    Largest-remainder apportionment: integer shares that sum *exactly*
+    to ``total_bytes`` (the pool budget is byte-exact), deterministic
+    tie-break by member index.  Every member gets at least 1 byte so a
+    de-emphasised position can still hold data when the pool is tiny.
+    """
+    if total_bytes <= 0:
+        raise ValueError("total_bytes must be positive")
+    if not weights or any(w <= 0 for w in weights):
+        raise ValueError("weights must be non-empty and positive")
+    wsum = float(sum(weights))
+    exact = [total_bytes * (w / wsum) for w in weights]
+    shares = [max(1, int(e)) for e in exact]
+    remainder = total_bytes - sum(shares)
+    if remainder < 0:
+        # Over-allocated by the 1-byte floors on a tiny budget: take the
+        # excess back from the largest shares (deterministic order).
+        order = sorted(
+            range(len(shares)), key=lambda i: (-shares[i], i)
+        )
+        for i in order:
+            if remainder == 0:
+                break
+            give = min(shares[i] - 1, -remainder)
+            shares[i] -= give
+            remainder += give
+    else:
+        # Distribute the leftover bytes by largest fractional remainder.
+        order = sorted(
+            range(len(shares)), key=lambda i: (-(exact[i] - int(exact[i])), i)
+        )
+        for k in range(remainder):
+            shares[order[k % len(order)]] += 1
+    if sum(shares) != total_bytes:
+        raise AssertionError("apportionment did not conserve the budget")
+    return shares

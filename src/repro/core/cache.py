@@ -1,18 +1,32 @@
 """The Midnode block cache (paper Sec. IV-A).
 
-Data is stored in 4096-byte-aligned blocks per flow, addressed by
-``(FlowID, block_index)``, with LRU replacement.  The real implementation
-stores payload bytes; the simulation stores coverage (which byte ranges of
-each block are present) plus the metadata the Consumer's measurements need
-(the Producer's original transmission timestamp per range).
+Data is stored in 4096-byte-aligned blocks per cache key, addressed by
+``(key, block_index)``, with LRU (default) or LFU replacement.  The real
+implementation stores payload bytes; the simulation stores coverage
+(which byte ranges of each block are present) plus the metadata the
+Consumer's measurements need (the Producer's original transmission
+timestamp per range).
+
+The cache key is normally the FlowID.  Under a content workload
+(:mod:`repro.content`) Midnodes alias the key to the flow's bound
+*object name*, so flows fetching the same named object share blocks;
+each stored range remembers the flow that wrote it (``writer``), which
+is how lookups distinguish genuine cross-flow hits from a flow re-
+reading its own retransmitted bytes.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.common.ranges import ByteRange, RangeSet
+
+#: Replacement policies a single cache supports.  The shared pool adds
+#: ``"fullest"`` on top (a member-choice policy, not a block policy);
+#: see :class:`repro.workload.budget.SharedCachePool`.
+CACHE_EVICTION_POLICIES = ("lru", "lfu")
 
 
 @dataclass
@@ -20,8 +34,18 @@ class _Block:
     """Coverage and origin timestamps for one 4096-byte block."""
 
     coverage: RangeSet = field(default_factory=RangeSet)
-    # (range, origin_ts) in insertion order; lookups intersect with these.
-    origins: list[tuple[ByteRange, float]] = field(default_factory=list)
+    # (range, origin_ts, writer flow id) in insertion order; lookups
+    # intersect with these.  ``writer`` is None for unattributed stores
+    # (single-flow caches, compacted history).
+    origins: list[tuple[ByteRange, float, Optional[str]]] = field(
+        default_factory=list
+    )
+    # Access bookkeeping for replacement: ``tick`` is the last-touch
+    # counter (recency), ``freq`` the touch count, ``seq`` the creation
+    # counter (deterministic LFU tie-break).
+    tick: int = 0
+    freq: int = 0
+    seq: int = 0
 
     def stored_bytes(self) -> int:
         return len(self.coverage)
@@ -34,24 +58,47 @@ class CacheStats:
     partial_hits: int = 0
     insertions: int = 0
     evictions: int = 0
+    # Byte-granular effectiveness: requested vs served, and the subset
+    # served from bytes a *different* flow wrote (the content-sharing
+    # signal the ``content_study`` experiment reports).
+    lookup_bytes: int = 0
+    hit_bytes: int = 0
+    cross_hits: int = 0
+    cross_hit_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    @property
+    def byte_hit_rate(self) -> float:
+        return self.hit_bytes / self.lookup_bytes if self.lookup_bytes else 0.0
+
 
 class BlockCache:
-    """LRU block cache keyed by (flow, block index)."""
+    """Block cache keyed by (cache key, block index)."""
 
     MAX_ORIGINS_PER_BLOCK = 64
 
-    def __init__(self, capacity_bytes: int = 64 << 20, block_bytes: int = 4096) -> None:
+    def __init__(
+        self,
+        capacity_bytes: int = 64 << 20,
+        block_bytes: int = 4096,
+        eviction: str = "lru",
+    ) -> None:
         if capacity_bytes <= 0 or block_bytes <= 0:
             raise ValueError("capacity and block size must be positive")
+        if eviction not in CACHE_EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {eviction!r}; "
+                f"choose from {CACHE_EVICTION_POLICIES}"
+            )
         self.capacity_bytes = capacity_bytes
         self.block_bytes = block_bytes
+        self.eviction = eviction
         self._blocks: "OrderedDict[tuple[str, int], _Block]" = OrderedDict()
         self._stored_bytes = 0
+        self._ticks = 0
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -63,49 +110,83 @@ class BlockCache:
     def _block_span(self, rng: ByteRange) -> range:
         return range(rng.start // self.block_bytes, (rng.end - 1) // self.block_bytes + 1)
 
-    def store(self, flow_id: str, rng: ByteRange, origin_ts: float) -> None:
-        """Insert a received data range (O(1) per touched block)."""
+    def _touch(self, block: _Block) -> None:
+        """Stamp one access: recency tick + frequency count.
+
+        Pool members override the tick source with a pool-shared counter
+        so recency/frequency compare across members (global LRU/LFU).
+        """
+        self._ticks += 1
+        block.tick = self._ticks
+        block.freq += 1
+
+    def store(
+        self,
+        key: str,
+        rng: ByteRange,
+        origin_ts: float,
+        writer: Optional[str] = None,
+    ) -> None:
+        """Insert a received data range (O(1) per touched block).
+
+        ``key`` is the cache key (FlowID, or the object name under a
+        content workload); ``writer`` attributes the bytes to the flow
+        that fetched them so later lookups can count cross-flow hits.
+        """
         self.stats.insertions += 1
         for bidx in self._block_span(rng):
-            key = (flow_id, bidx)
-            block = self._blocks.get(key)
+            bkey = (key, bidx)
+            block = self._blocks.get(bkey)
             if block is None:
                 block = _Block()
-                self._blocks[key] = block
+                self._blocks[bkey] = block
+                self._touch(block)
+                block.seq = block.tick
             else:
-                self._blocks.move_to_end(key)
+                self._blocks.move_to_end(bkey)
+                self._touch(block)
             bstart = bidx * self.block_bytes
             part = rng.intersection(ByteRange.unchecked(bstart, bstart + self.block_bytes))
             if part is None:
                 continue
             before = block.stored_bytes()
             block.coverage.add(part)
-            block.origins.append((part, origin_ts))
+            block.origins.append((part, origin_ts, writer))
             if len(block.origins) > self.MAX_ORIGINS_PER_BLOCK:
                 self._compact(block)
             self._stored_bytes += block.stored_bytes() - before
         self._evict_if_needed()
 
-    def lookup(self, flow_id: str, rng: ByteRange) -> list[tuple[ByteRange, float]]:
+    def lookup(
+        self,
+        key: str,
+        rng: ByteRange,
+        requester: Optional[str] = None,
+    ) -> list[tuple[ByteRange, float]]:
         """Cached sub-ranges of ``rng`` with their origin timestamps.
 
         Returns a list of (sub-range, origin_ts); empty on a miss.  The
         union of returned sub-ranges is the cached intersection with
-        ``rng`` (they do not overlap each other).
+        ``rng`` (they do not overlap each other).  When ``requester`` is
+        given, served bytes whose recorded writer is a *different* flow
+        are counted as cross-flow hits in :attr:`stats`.
         """
         self.stats.lookups += 1
+        self.stats.lookup_bytes += rng.length
         found: list[tuple[ByteRange, float]] = []
+        cross_bytes = 0
         remaining = RangeSet([rng])
         for bidx in self._block_span(rng):
-            key = (flow_id, bidx)
-            block = self._blocks.get(key)
+            bkey = (key, bidx)
+            block = self._blocks.get(bkey)
             if block is None:
                 continue
-            self._blocks.move_to_end(key)
+            self._blocks.move_to_end(bkey)
+            self._touch(block)
             # Scan this block's stored pieces newest-first so re-stored
             # (retransmitted) data wins, then clip against what is still
             # needed to keep results disjoint.
-            for stored_rng, origin_ts in reversed(block.origins):
+            for stored_rng, origin_ts, writer in reversed(block.origins):
                 if not remaining:
                     break
                 part = stored_rng.intersection(rng)
@@ -117,19 +198,29 @@ class BlockCache:
                 for sub in covered:
                     found.append((sub, origin_ts))
                     remaining.remove(sub)
+                    if (
+                        requester is not None
+                        and writer is not None
+                        and writer != requester
+                    ):
+                        cross_bytes += sub.length
         if not found:
             return []
         total = sum(r.length for r, _ in found)
+        self.stats.hit_bytes += total
+        if cross_bytes:
+            self.stats.cross_hits += 1
+            self.stats.cross_hit_bytes += cross_bytes
         if total >= rng.length:
             self.stats.hits += 1
         else:
             self.stats.partial_hits += 1
         return found
 
-    def contains(self, flow_id: str, rng: ByteRange) -> bool:
+    def contains(self, key: str, rng: ByteRange) -> bool:
         """True if every byte of ``rng`` is cached."""
         for bidx in self._block_span(rng):
-            block = self._blocks.get((flow_id, bidx))
+            block = self._blocks.get((key, bidx))
             if block is None:
                 return False
             bstart = bidx * self.block_bytes
@@ -138,29 +229,54 @@ class BlockCache:
                 return False
         return True
 
+    # -- replacement ----------------------------------------------------
+
+    def lru_candidate(self) -> Optional[int]:
+        """Last-touch tick of the block LRU eviction would pick."""
+        if not self._blocks:
+            return None
+        return next(iter(self._blocks.values())).tick
+
+    def lfu_candidate(self) -> Optional[tuple[int, int]]:
+        """(freq, seq) of the block LFU eviction would pick."""
+        if not self._blocks:
+            return None
+        return min((b.freq, b.seq) for b in self._blocks.values())
+
     def evict_one(self) -> int:
-        """Evict the least-recently-used block; returns bytes freed (0 if
-        empty).  Shared-pool budgeting (:mod:`repro.workload.budget`) uses
-        this to reclaim memory across many caches deterministically."""
+        """Evict one block under this cache's policy; returns bytes freed
+        (0 if empty).  Shared-pool budgeting (:mod:`repro.workload.budget`)
+        uses this to reclaim memory across many caches deterministically."""
         if not self._blocks:
             return 0
-        _, block = self._blocks.popitem(last=False)
+        if self.eviction == "lfu":
+            # O(n) scan; only paid under memory pressure with LFU selected.
+            victim = min(
+                self._blocks, key=lambda k: (
+                    self._blocks[k].freq, self._blocks[k].seq
+                )
+            )
+            block = self._blocks.pop(victim)
+        else:
+            _, block = self._blocks.popitem(last=False)
         freed = block.stored_bytes()
         self._stored_bytes -= freed
         self.stats.evictions += 1
         return freed
 
-    def drop_flow(self, flow_id: str) -> int:
-        """Discard every block of ``flow_id``; returns bytes freed.
+    def drop_flow(self, key: str) -> int:
+        """Discard every block under cache key ``key``; returns bytes freed.
 
-        Called on flow retirement: once a flow has completed, its cached
-        blocks can only serve straggler re-requests, so a multi-flow node
-        reclaims them eagerly instead of waiting for LRU pressure.
+        Called on flow retirement for flow-keyed blocks: once a flow has
+        completed, its cached blocks can only serve straggler re-requests,
+        so a multi-flow node reclaims them eagerly instead of waiting for
+        LRU pressure.  (Content-keyed blocks are *not* dropped at
+        retirement — see :meth:`repro.core.midnode.Midnode.retire_flow`.)
         """
-        keys = [key for key in self._blocks if key[0] == flow_id]
+        keys = [k for k in self._blocks if k[0] == key]
         freed = 0
-        for key in keys:
-            freed += self._blocks.pop(key).stored_bytes()
+        for k in keys:
+            freed += self._blocks.pop(k).stored_bytes()
         self._stored_bytes -= freed
         return freed
 
@@ -171,9 +287,14 @@ class BlockCache:
         Heavy retransmission can pile up many overlapping origin entries;
         compaction rebuilds one entry per covered interval, stamped with
         the block's earliest timestamp (conservative for OWD accounting).
+        The writer attribution survives only if the whole block has a
+        single writer — mixed history compacts to None (conservative:
+        never inflates cross-flow hit counts).
         """
-        oldest = min(ts for _, ts in block.origins)
-        block.origins = [(iv, oldest) for iv in block.coverage]
+        oldest = min(ts for _, ts, _ in block.origins)
+        writers = {w for _, _, w in block.origins}
+        writer = writers.pop() if len(writers) == 1 else None
+        block.origins = [(iv, oldest, writer) for iv in block.coverage]
 
     def _evict_if_needed(self) -> None:
         while self._stored_bytes > self.capacity_bytes and self._blocks:

@@ -136,6 +136,11 @@ class Midnode(Node):
         super().__init__(sim, name)
         self.config = config
         self.cache = BlockCache(config.cache_capacity_bytes, config.cache_block_bytes)
+        # Optional flow→object binding (repro.content.ContentRegistry,
+        # duck-typed to keep core import-light).  When set, cache keys
+        # alias to object names so flows fetching the same named object
+        # share blocks; wire/per-flow state stays keyed by flow id.
+        self.content = None
         self._flows: dict[str, _FlowState] = {}
         self._upstream_default: Optional[Link] = None
         self._upstream_by_flow: dict[str, Link] = {}
@@ -188,8 +193,12 @@ class Midnode(Node):
         for state in self._flows.values():
             state.sender.reset()
         self._flows.clear()
+        # Preserve the cache *geometry* (capacity may have been sized by
+        # a placement policy) while dropping every stored byte.
         self.cache = BlockCache(
-            self.config.cache_capacity_bytes, self.config.cache_block_bytes
+            self.cache.capacity_bytes,
+            self.cache.block_bytes,
+            eviction=self.cache.eviction,
         )
 
     # ------------------------------------------------------------------
@@ -228,6 +237,14 @@ class Midnode(Node):
         state = self._flows.get(flow_id)
         return state.sender.backlog_bytes if state else 0
 
+    def _cache_key(self, flow_id: str) -> str:
+        """Cache key for a flow: its bound object name, else the flow id."""
+        content = self.content
+        if content is None:
+            return flow_id
+        obj = content.object_of(flow_id)
+        return obj if obj is not None else flow_id
+
     def retire_flow(self, flow_id: str) -> int:
         """Drop a completed flow's soft state and cached blocks.
 
@@ -235,12 +252,20 @@ class Midnode(Node):
         Consumer finishes so that a long-lived Midnode serving thousands
         of flows does not accumulate per-flow state; a straggler Interest
         simply rebuilds the (soft) state from scratch.
+
+        Content-bound flows keep their blocks: the bytes live under the
+        *object's* cache key and serving them to later consumers of the
+        same object is the point of the cache — eviction pressure, not
+        flow lifetime, reclaims them.
         """
         state = self._flows.pop(flow_id, None)
         if state is not None:
             state.sender.reset()
         self._upstream_by_flow.pop(flow_id, None)
         if self.config.enable_cache:
+            content = self.content
+            if content is not None and content.object_of(flow_id) is not None:
+                return 0
             return self.cache.drop_flow(flow_id)
         return 0
 
@@ -293,10 +318,16 @@ class Midnode(Node):
         if cfg.hop_by_hop_cc:
             state.sender.set_rate(interest.send_rate_bytes_s)
             state.cc.next_hop_rate_bytes_s = interest.send_rate_bytes_s
-        # Answer from the cache where possible.
+        # Answer from the cache where possible.  The lookup key aliases
+        # to the flow's object name under a content workload, so bytes
+        # another flow fetched for the same object count as hits here.
         remaining: list[ByteRange] = [interest.range]
         if cfg.enable_cache:
-            pieces = self.cache.lookup(interest.flow_id, interest.range)
+            cross_mark = self.cache.stats.cross_hit_bytes
+            pieces = self.cache.lookup(
+                self._cache_key(interest.flow_id), interest.range,
+                requester=interest.flow_id,
+            )
             if pieces:
                 covered = []
                 for rng, origin_ts in pieces:
@@ -325,6 +356,7 @@ class Midnode(Node):
                     self.name, flow=interest.flow_id,
                     start=interest.range.start, end=interest.range.end,
                     hit_bytes=hit_bytes, miss_bytes=miss_bytes,
+                    cross_bytes=self.cache.stats.cross_hit_bytes - cross_mark,
                 )
         # Forward the uncovered remainder upstream, re-stamped with this
         # node's own Requester rate.
@@ -393,7 +425,10 @@ class Midnode(Node):
             for hole in actions.request:
                 self._send_retx_interest(state, packet.flow_id, hole)
             if not packet.is_header:
-                self.cache.store(packet.flow_id, packet.range, packet.origin_ts)
+                self.cache.store(
+                    self._cache_key(packet.flow_id), packet.range,
+                    packet.origin_ts, writer=packet.flow_id,
+                )
         if state.downstream_link is not None:
             if not packet.is_header and state.queued.contains(packet.range):
                 return  # an identical copy is already queued for downstream

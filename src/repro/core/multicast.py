@@ -1,7 +1,7 @@
 """Multicast extension: Interest aggregation and data fan-out (paper Sec. VII).
 
 The paper observes that LEOTP's information-centric model gives multicast
-"inherently": when several Consumers request the same FlowID, Midnode
+"inherently": when several Consumers request the same content, Midnode
 caches answer duplicate Interests locally, and pending duplicate
 Interests can be *aggregated* so each piece of data crosses the upstream
 path only once.  This module implements that discussion as a
@@ -14,11 +14,19 @@ path only once.  This module implements that discussion as a
   through its own paced sender;
 * everything else (SHR, VPH, caching, hop congestion control) is
   inherited from the unicast :class:`~repro.core.midnode.Midnode`.
+
+The PIT keys by *cache key*, not flow id: under a content workload
+(:mod:`repro.content`) thousands of subscribers each run their own flow
+against the same named object, their Interests aggregate, and fanned-out
+copies are re-tagged with each subscriber's flow id so every Consumer
+accepts its delivery.  Without a content registry the cache key is the
+flow id and the classic shared-FlowID behaviour is unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.common.ranges import ByteRange
 from repro.core.config import LeotpConfig
@@ -32,8 +40,27 @@ from repro.simcore.simulator import Simulator
 @dataclass
 class _PitEntry:
     rng: ByteRange
-    downstreams: list[Link] = field(default_factory=list)
+    # (subscriber flow id, downstream link) per aggregated requester.
+    downstreams: list[tuple[str, Link]] = field(default_factory=list)
     created_at: float = 0.0
+
+
+class _FanoutStamp:
+    """Per-(flow, link) stamp callback for fan-out senders.
+
+    A named class (not a lambda) so multicast trees survive pickling —
+    the same pattern as ``midnode._FlowStamp``; see there for why shard
+    checkpointing forbids closures in live node state.
+    """
+
+    __slots__ = ("midnode", "flow_id")
+
+    def __init__(self, midnode: "MulticastMidnode", flow_id: str) -> None:
+        self.midnode = midnode
+        self.flow_id = flow_id
+
+    def __call__(self, pkt: DataPacket) -> DataPacket:
+        return self.midnode._stamp(self.midnode._flow(self.flow_id), pkt)
 
 
 class MulticastMidnode(Midnode):
@@ -45,26 +72,28 @@ class MulticastMidnode(Midnode):
         self, sim: Simulator, name: str, config: LeotpConfig = LeotpConfig()
     ) -> None:
         super().__init__(sim, name, config)
-        # PIT: (flow_id, range_start) -> entry.  Ranges are MSS-chunked at
-        # the Consumers, so exact-start matching covers the common case.
+        # PIT: (cache_key, range_start) -> entry.  Ranges are MSS-chunked
+        # at the Consumers, so exact-start matching covers the common case.
         self._pit: dict[tuple[str, int], _PitEntry] = {}
-        # One paced sender per (flow, downstream link) for fan-out.
-        self._fanout_senders: dict[tuple[str, int], PacedSender] = {}
+        # One paced sender per (flow, downstream link name) for fan-out.
+        # Link names are deterministic (access links are named per flow),
+        # so sender naming — and hence traces — is stable across runs.
+        self._fanout_senders: dict[tuple[str, str], PacedSender] = {}
         self.interests_aggregated = 0
         self.fanout_packets = 0
 
     # ------------------------------------------------------------------
 
-    def _fanout_sender(self, flow_id: str, link: Link, state) -> PacedSender:
-        key = (flow_id, id(link))
+    def _fanout_sender(self, flow_id: str, link: Link) -> PacedSender:
+        key = (flow_id, link.name)
         sender = self._fanout_senders.get(key)
         if sender is None:
             sender = PacedSender(
                 self.sim,
-                stamp=lambda pkt: self._stamp(state, pkt),
+                stamp=_FanoutStamp(self, flow_id),
                 paced=self.config.hop_by_hop_cc,
                 burst_bytes=3.0 * self.config.data_packet_bytes,
-                name=f"{self.name}:{flow_id}:fanout{id(link) % 1000}",
+                name=f"{self.name}:{flow_id}:fanout:{link.name}",
             )
             self._fanout_senders[key] = sender
         return sender
@@ -74,7 +103,8 @@ class MulticastMidnode(Midnode):
             # Recovery traffic never waits behind the PIT.
             super()._on_interest(interest, link)
             return
-        key = (interest.flow_id, interest.range.start)
+        cache_key = self._cache_key(interest.flow_id)
+        key = (cache_key, interest.range.start)
         entry = self._pit.get(key)
         now = self.sim.now
         downstream = link.reply_link
@@ -85,38 +115,54 @@ class MulticastMidnode(Midnode):
         ):
             # Another consumer already has this range in flight through us:
             # absorb the duplicate, remember who else wants the data.
-            if downstream is not None and downstream not in entry.downstreams:
-                entry.downstreams.append(downstream)
+            if downstream is not None:
+                sub = (interest.flow_id, downstream)
+                if sub not in entry.downstreams:
+                    entry.downstreams.append(sub)
             self.interests_aggregated += 1
             # Keep per-downstream rate bookkeeping fresh.
             if self.config.hop_by_hop_cc and downstream is not None:
-                state = self._flow(interest.flow_id)
-                sender = self._fanout_sender(interest.flow_id, downstream, state)
+                sender = self._fanout_sender(interest.flow_id, downstream)
                 sender.set_rate(interest.send_rate_bytes_s)
             return
         # First request for this range: register and process normally
         # (cache answer or upstream forward).
-        before_cache = self.cache.contains(interest.flow_id, interest.range)
+        before_cache = self.cache.contains(cache_key, interest.range)
         if not before_cache and downstream is not None:
             self._pit[key] = _PitEntry(
-                interest.range, [downstream], created_at=now
+                interest.range,
+                [(interest.flow_id, downstream)],
+                created_at=now,
             )
         super()._on_interest(interest, link)
 
     def _on_data(self, packet: DataPacket, link: Link) -> None:
         # Serve every PIT-registered downstream beyond the primary one.
-        entry = self._pit.pop((packet.flow_id, packet.range.start), None)
+        entry = self._pit.pop(
+            (self._cache_key(packet.flow_id), packet.range.start), None
+        )
         super()._on_data(packet, link)
         if packet.is_header or entry is None:
             return
         state = self._flow(packet.flow_id)
-        primary = state.downstream_link
-        for downstream in entry.downstreams:
-            if downstream is primary:
+        primary: Optional[Link] = state.downstream_link
+        for flow_id, downstream in entry.downstreams:
+            if flow_id == packet.flow_id and downstream is primary:
                 continue  # already served by the unicast path
-            sender = self._fanout_sender(packet.flow_id, downstream, state)
+            sender = self._fanout_sender(flow_id, downstream)
             self.fanout_packets += 1
-            sender.enqueue(packet, downstream)
+            if flow_id == packet.flow_id:
+                sender.enqueue(packet, downstream)
+            else:
+                # Cross-flow subscriber: re-tag the copy with *its* flow
+                # id so its Consumer accepts the delivery.
+                copy = DataPacket(
+                    flow_id, packet.range, packet.timestamp,
+                    origin_ts=packet.origin_ts,
+                    echo_interest_owd=packet.echo_interest_owd,
+                    retransmitted=packet.retransmitted,
+                )
+                sender.enqueue(copy, downstream)
 
     def crash(self) -> None:
         """Power-cycle: additionally drop the PIT and fan-out senders.

@@ -12,6 +12,7 @@ from repro.experiments import (
     ablation_vph,
     chaos_suite,
     churn_study,
+    content_study,
     fig01_bandwidth,
     fig02_plr_hops,
     fig03_owd_model,
@@ -67,6 +68,7 @@ ALL_EXPERIMENTS = {
     "ablation_params": ablation_parameters.run,
     "chaos": chaos_suite.run,
     "churn": churn_study.run,
+    "content_study": content_study.run,
     "gateway": gateway_study.run,
     "multicast": multicast_study.run,
     "related_snoop": related_snoop.run,

@@ -119,6 +119,10 @@ def main(argv: list[str] | None = None) -> int:
             from repro.analysis.report import churn_summary
 
             print(churn_summary(result.rows))
+        if outcome.name == "content_study":
+            from repro.analysis.report import content_summary
+
+            print(content_summary(result.rows))
         line = f"(wall {outcome.wall_s:.0f}s, scale {args.scale}"
         if outcome.profile_path:
             line += f", profile {outcome.profile_path}"

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
+from repro.content.catalog import ContentSpec
+from repro.content.placement import CachePolicy
 from repro.netsim.topology import HopSpec, uniform_chain_specs
 from repro.workload.arrivals import WorkloadSpec
 
@@ -65,6 +68,19 @@ class ShardPlan:
     fault_phase: int = 2
     fault_at_s: float = 1.0
     fault_duration_s: float = 0.4
+    # Content-centric mode (repro.content): with ``n_objects > 0`` every
+    # shard's flows request named Zipf-popular objects (sizes from the
+    # catalog, parameterised by the size fields above) instead of
+    # distinct bytes; the catalog is rebuilt deterministically from
+    # ``(plan, shard seed)`` on restore, so content shards checkpoint/
+    # resume byte-identically.  ``cache_placement`` "legacy" keeps the
+    # historic pool behaviour (each member may use the whole budget,
+    # fullest-member eviction); any placement name from
+    # :data:`repro.content.placement.PLACEMENTS` selects a policy cell.
+    n_objects: int = 0
+    zipf_s: float = 0.8
+    cache_placement: str = "legacy"
+    cache_eviction: str = "fullest"
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -75,6 +91,11 @@ class ShardPlan:
             raise ValueError("epoch length must be positive")
         if not 0.0 < self.cache_fraction < 1.0:
             raise ValueError("cache_fraction must be in (0, 1)")
+        if self.n_objects < 0:
+            raise ValueError("n_objects must be non-negative")
+        # Validate the policy cell eagerly (CachePolicy raises on bad
+        # names); "legacy" bypasses the policy machinery entirely.
+        self.cache_policy()
 
     # -- derived geometry ----------------------------------------------
 
@@ -109,6 +130,15 @@ class ShardPlan:
         return min((epoch + 1) * self.epoch_s, self.horizon_s)
 
     def workload_spec(self) -> WorkloadSpec:
+        content = None
+        if self.n_objects > 0:
+            content = ContentSpec(
+                n_objects=self.n_objects,
+                zipf_s=self.zipf_s,
+                mean_object_bytes=self.mean_size_bytes,
+                size_sigma=self.size_sigma,
+                max_object_bytes=self.max_size_bytes,
+            )
         return WorkloadSpec(
             arrival="poisson",
             rate_per_s=self.arrival_rate_per_s,
@@ -117,6 +147,20 @@ class ShardPlan:
             mean_size_bytes=self.mean_size_bytes,
             sigma=self.size_sigma,
             max_size_bytes=self.max_size_bytes,
+            content=content,
+        )
+
+    def cache_policy(self) -> Optional[CachePolicy]:
+        """The pool's placement/eviction cell; None for legacy pools."""
+        if self.cache_placement == "legacy":
+            if self.cache_eviction != "fullest":
+                raise ValueError(
+                    "legacy placement implies fullest-member eviction; "
+                    "pick a placement to select an eviction policy"
+                )
+            return None
+        return CachePolicy(
+            placement=self.cache_placement, eviction=self.cache_eviction
         )
 
     def hop_specs(self) -> list[HopSpec]:

@@ -151,6 +151,7 @@ class _ShardState:
             memory_ceiling_bytes=plan.memory_ceiling_bytes,
             cache_fraction=plan.cache_fraction,
             name=plan.shard_name(index),
+            cache_policy=plan.cache_policy(),
         )
         self.injector: Optional[FaultInjector] = None
         if plan.has_fault(index):
@@ -199,18 +200,17 @@ class _ShardState:
         assert cache_pool is not None  # LEOTP pools always have one
         before = cache_pool.stored_bytes
         evicted_mark = cache_pool.pool_evicted_bytes
-        cache_pool.capacity_bytes = allocation
-        # Members self-evict at their own capacity before the pool sees
-        # the bytes, so a grown allocation must reach them too.
-        for member in cache_pool.members:
-            member.capacity_bytes = allocation
         # The shard's ledger ceiling follows its allocation: admission
         # still enforces the fixed flow-state share, while the cache side
         # may legitimately grow past the construction-time equal split.
         self.pool.budget.ceiling_bytes = (
             self.pool._flow_share_bytes + allocation
         )
-        cache_pool.on_change()
+        # set_capacity re-derives member capacities (weighted shares
+        # under a placement policy, the full allocation otherwise) and
+        # evicts through the pool counters, so the conservation identity
+        # below sees every boundary eviction.
+        cache_pool.set_capacity(allocation)
         evicted = cache_pool.pool_evicted_bytes - evicted_mark
         after = cache_pool.stored_bytes
         if before != after + evicted:
@@ -314,6 +314,16 @@ class _ShardState:
             "admission_rejects": int(summary["admission_rejects"]),
             "events": self.sim.events_executed,
         }
+        if "cross_hit_ratio" in summary:
+            # Content shards additionally report cache-sharing outcomes
+            # (absent for classic plans, keeping their rows byte-stable).
+            row["objects"] = int(summary["content_objects"])
+            row["hit_ratio"] = round(summary["cache_hit_ratio"], 6)
+            row["cross_hit_ratio"] = round(summary["cross_hit_ratio"], 6)
+            row["origin_MB"] = summary["origin_bytes"] / 1e6
+            row["origin_load_reduction"] = round(
+                summary["origin_load_reduction"], 6
+            )
         return row
 
 

@@ -23,8 +23,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
+
+from repro.content.catalog import ContentCatalog, ContentSpec
 
 #: Arrival / size model names accepted by :class:`WorkloadSpec`.
 ARRIVAL_MODELS = ("poisson", "trace")
@@ -33,10 +36,17 @@ SIZE_DISTS = ("lognormal", "fixed")
 
 @dataclass(frozen=True)
 class FlowDemand:
-    """One flow the workload wants transferred."""
+    """One flow the workload wants transferred.
+
+    ``object_id`` names the catalog object the flow requests under a
+    content workload (None for classic distinct-bytes flows); its size
+    then equals the object's size, so every consumer of an object pulls
+    the same byte range.
+    """
 
     arrival_s: float
     size_bytes: int
+    object_id: Optional[int] = None
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -63,8 +73,14 @@ class WorkloadSpec:
     max_size_bytes: int = 2_000_000
     closed_loop: bool = False
     target_concurrency: int = 32
+    #: Content-centric mode: flows request named Zipf-popular objects
+    #: instead of distinct bytes (sizes then come from the catalog, not
+    #: the lognormal draw above).  See :mod:`repro.content`.
+    content: Optional[ContentSpec] = None
 
     def __post_init__(self) -> None:
+        if self.content is not None and self.arrival != "poisson":
+            raise ValueError("content workloads require poisson arrivals")
         if self.arrival not in ARRIVAL_MODELS:
             raise ValueError(
                 f"unknown arrival model {self.arrival!r}; "
@@ -120,6 +136,24 @@ def generate_demands(
         ):
             raise ValueError("trace entries must be sorted by arrival time")
         return demands
+
+    # Content mode: the catalog's sizes draw first (a deterministic
+    # prefix of the stream), then arrivals, then the per-flow Zipf
+    # object assignment — all from the one generator, so the workload
+    # stays a pure function of (spec, seed).
+    if spec.content is not None:
+        catalog = ContentCatalog.build(spec.content, rng)
+        gaps = rng.exponential(scale=1.0 / spec.rate_per_s, size=spec.n_flows)
+        arrivals = np.cumsum(gaps)
+        object_ids = catalog.sample(rng, spec.n_flows)
+        return [
+            FlowDemand(
+                arrival_s=float(t),
+                size_bytes=catalog.object_size(int(i)),
+                object_id=int(i),
+            )
+            for t, i in zip(arrivals, object_ids)
+        ]
 
     # Poisson: exponential inter-arrival gaps, cumulatively summed.
     gaps = rng.exponential(scale=1.0 / spec.rate_per_s, size=spec.n_flows)

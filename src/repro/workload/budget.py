@@ -9,10 +9,20 @@ uses to keep a whole run under one configured byte ceiling:
   ...) with peak tracking and breach counting, so experiments can
   *assert* that a run stayed within budget instead of hoping;
 * :class:`SharedCachePool` — a group of :class:`PooledBlockCache`
-  members (one per Midnode) whose *combined* occupancy is enforced:
-  when the pool exceeds its capacity, blocks are evicted LRU-style from
-  the fullest member.  Eviction order is deterministic (ties broken by
-  registration index), preserving bit-identical runs.
+  members (one per Midnode) whose *combined* occupancy is enforced
+  under a selectable victim policy: ``"fullest"`` (evict LRU blocks
+  from whichever member holds the most bytes — the historic default),
+  ``"lru"`` (the globally least-recently-touched block, via a
+  pool-shared access-tick counter), or ``"lfu"`` (the globally
+  least-frequently-hit block).  Eviction order is deterministic (ties
+  broken by registration index), preserving bit-identical runs.
+
+Member capacities default to the pool capacity (any single member may
+use the whole budget; the pool is the sole arbiter).  A placement study
+(:mod:`repro.content.placement`) instead calls :meth:`SharedCachePool.
+set_weights` to partition the budget across chain positions —
+gateway-heavy, uniform, or hot-orbit — after which each member also
+enforces its own share.
 
 The ledger models *protocol* memory — cached payload and per-flow soft
 state — not Python object overhead; it corresponds to the RAM a real
@@ -21,9 +31,14 @@ Midnode deployment would provision.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
+from repro.content.placement import member_capacities
 from repro.core.cache import BlockCache
+
+#: Victim policies the pool accepts (block-level lru/lfu plus the
+#: member-level fullest heuristic).
+POOL_EVICTION_POLICIES = ("fullest", "lru", "lfu")
 
 
 class MemoryBudget:
@@ -78,16 +93,28 @@ class MemoryBudget:
 class PooledBlockCache(BlockCache):
     """A :class:`BlockCache` that reports occupancy changes to its pool.
 
-    The member's own capacity equals the pool capacity, so individual
-    LRU eviction never fires before the pool-wide policy does — the pool
-    is the sole arbiter of what gets evicted.
+    Without placement weights the member's own capacity equals the pool
+    capacity, so individual eviction never fires before the pool-wide
+    policy does — the pool is the sole arbiter of what gets evicted.
+    Access ticks come from the pool's shared counter, so recency and
+    frequency compare *across* members (global LRU/LFU victims).
     """
 
     def __init__(self, pool: "SharedCachePool", index: int) -> None:
-        super().__init__(pool.capacity_bytes, pool.block_bytes)
+        block_policy = "lfu" if pool.eviction == "lfu" else "lru"
+        super().__init__(
+            pool.capacity_bytes, pool.block_bytes, eviction=block_policy
+        )
         self._pool = pool
         self.pool_index = index
         self._reported_bytes = 0
+
+    def _touch(self, block) -> None:
+        # Pool-shared tick source: every member's recency/frequency
+        # stamps draw from one counter so they order globally.
+        self._pool._ticks += 1
+        block.tick = self._pool._ticks
+        block.freq += 1
 
     def _sync_pool_total(self) -> None:
         """Push this member's occupancy delta into the pool's running total.
@@ -103,13 +130,13 @@ class PooledBlockCache(BlockCache):
             self._pool._stored_total += delta
             self._reported_bytes = current
 
-    def store(self, flow_id, rng, origin_ts) -> None:
-        super().store(flow_id, rng, origin_ts)
+    def store(self, key, rng, origin_ts, writer=None) -> None:
+        super().store(key, rng, origin_ts, writer)
         self._sync_pool_total()
         self._pool.on_change()
 
-    def drop_flow(self, flow_id: str) -> int:
-        freed = super().drop_flow(flow_id)
+    def drop_flow(self, key: str) -> int:
+        freed = super().drop_flow(key)
         if freed:
             self._sync_pool_total()
             self._pool.on_change()
@@ -121,10 +148,11 @@ class SharedCachePool:
 
     Midnodes keep their per-node :class:`BlockCache` interface; the pool
     only replaces the *policy*: after any member stores data, the pool
-    evicts LRU blocks from whichever member currently holds the most
-    bytes until the combined occupancy fits.  Evicting from the fullest
-    member approximates global LRU without a shared recency list and
-    keeps hot small members intact.
+    evicts blocks from a deterministically chosen victim member until
+    the combined occupancy fits.  The victim choice is the pool's
+    ``eviction`` policy; the historic ``"fullest"`` default approximates
+    global LRU without a shared recency list and keeps hot small members
+    intact.
     """
 
     def __init__(
@@ -133,15 +161,24 @@ class SharedCachePool:
         block_bytes: int = 4096,
         budget: Optional[MemoryBudget] = None,
         account: str = "cache",
+        eviction: str = "fullest",
     ) -> None:
         if capacity_bytes <= 0 or block_bytes <= 0:
             raise ValueError("capacity and block size must be positive")
+        if eviction not in POOL_EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction policy {eviction!r}; "
+                f"choose from {POOL_EVICTION_POLICIES}"
+            )
         self.capacity_bytes = capacity_bytes
         self.block_bytes = block_bytes
         self.budget = budget
         self.account = account
+        self.eviction = eviction
         self._members: list[PooledBlockCache] = []
+        self._weights: Optional[tuple[float, ...]] = None
         self._stored_total = 0  # incrementally maintained by members
+        self._ticks = 0  # shared access-tick counter (see PooledBlockCache)
         # Telemetry: evictions forced by the *pool* policy (members' own
         # stats.evictions include these; the pool counters isolate them).
         self.pool_evictions = 0
@@ -161,20 +198,93 @@ class SharedCachePool:
     def stored_bytes(self) -> int:
         return self._stored_total
 
+    # -- placement ------------------------------------------------------
+
+    def set_weights(self, weights: Sequence[float]) -> None:
+        """Partition the pool budget across members by ``weights``.
+
+        Call once after every member is registered (the placement step).
+        Each member's capacity becomes its largest-remainder share of the
+        pool capacity; members above their new share evict immediately
+        through the pool counters, so the boundary identity
+        ``before == after + evicted`` the shard engine asserts holds.
+        """
+        if len(weights) != len(self._members):
+            raise ValueError(
+                f"{len(weights)} weights for {len(self._members)} members"
+            )
+        self._weights = tuple(float(w) for w in weights)
+        self._apply_member_capacities()
+        self.on_change()
+
+    def set_capacity(self, capacity_bytes: int) -> None:
+        """Adopt a new pool capacity (the shard exchange's allocation).
+
+        Re-derives member capacities (weighted shares under a placement,
+        the full capacity otherwise), evicts any member above its share,
+        then re-enforces the pool-wide bound — all through the pool
+        eviction counters, preserving byte conservation at epoch
+        boundaries.
+        """
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._apply_member_capacities()
+        self.on_change()
+
+    def _apply_member_capacities(self) -> None:
+        if self._weights is None:
+            caps = [self.capacity_bytes] * len(self._members)
+        else:
+            caps = member_capacities(self.capacity_bytes, self._weights)
+        for member, cap in zip(self._members, caps):
+            member.capacity_bytes = cap
+            while member._stored_bytes > cap:
+                freed = member.evict_one()
+                if freed == 0:
+                    break
+                member._sync_pool_total()
+                self.pool_evictions += 1
+                self.pool_evicted_bytes += freed
+
+    # -- enforcement ----------------------------------------------------
+
     def on_change(self) -> None:
         """Re-enforce capacity after a member's occupancy changed."""
         self._enforce()
         if self.budget is not None:
             self.budget.set_account(self.account, self._stored_total)
 
+    def _victim(self) -> Optional[PooledBlockCache]:
+        """Deterministic victim member under the pool eviction policy."""
+        if self.eviction == "fullest":
+            # The fullest member, ties broken by registration order
+            # (stable across runs and job counts).
+            return max(
+                self._members, key=lambda m: (m.stored_bytes, -m.pool_index)
+            )
+        best: Optional[PooledBlockCache] = None
+        best_key: Optional[tuple] = None
+        for m in self._members:
+            cand = (
+                m.lru_candidate() if self.eviction == "lru"
+                else m.lfu_candidate()
+            )
+            if cand is None:
+                continue
+            key = (cand, m.pool_index)
+            if best_key is None or key < best_key:
+                best_key, best = key, m
+        return best
+
     def _enforce(self) -> None:
         while self._stored_total > self.capacity_bytes:
-            # Deterministic victim choice: the fullest member, ties broken
-            # by registration order (stable across runs and job counts).
-            victim = max(self._members, key=lambda m: (m.stored_bytes, -m.pool_index))
+            victim = self._victim()
+            if victim is None:
+                break  # nothing evictable left (all members empty)
             freed = victim.evict_one()
             if freed == 0:
-                break  # nothing evictable left (all members empty)
+                break
             victim._sync_pool_total()
             self.pool_evictions += 1
             self.pool_evicted_bytes += freed

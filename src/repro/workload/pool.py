@@ -39,6 +39,9 @@ from array import array
 from functools import partial
 from typing import Optional, Sequence
 
+from repro.content.catalog import object_name
+from repro.content.placement import CachePolicy, placement_weights
+from repro.content.registry import ContentRegistry
 from repro.core.config import LeotpConfig
 from repro.core.consumer import Consumer
 from repro.core.midnode import Midnode
@@ -89,6 +92,7 @@ class FlowPool:
         access_rate_bps: float = 100e6,
         access_delay_s: float = 0.002,
         name: str = "pool",
+        cache_policy: Optional[CachePolicy] = None,
     ) -> None:
         if len(hops) < 1:
             raise ValueError("need at least one hop")
@@ -96,6 +100,8 @@ class FlowPool:
             raise ValueError("cache_fraction must be in (0, 1)")
         if not name:
             raise ValueError("pool name must be non-empty")
+        if cache_policy is not None and protocol != LEOTP:
+            raise ValueError("cache_policy applies only to LEOTP pools")
         self.sim = sim
         self.rng = rng
         self.spec = spec
@@ -146,6 +152,7 @@ class FlowPool:
         self.arrivals = 0
         self.completed = 0
         self.aborted = 0
+        self.delivered_bytes = 0
         self.admission_rejects = 0
         self.peak_concurrency = 0
         self._finalized = False
@@ -159,6 +166,7 @@ class FlowPool:
         self._demands = demands
         self._next_demand = 0
 
+        self.cache_policy = cache_policy
         if protocol == LEOTP:
             self._build_leotp_chain(hops)
             cache_capacity = int(memory_ceiling_bytes * cache_fraction)
@@ -167,15 +175,35 @@ class FlowPool:
                 self.config.cache_block_bytes,
                 budget=self.budget,
                 account="cache",
+                eviction=(
+                    cache_policy.eviction
+                    if cache_policy is not None
+                    else "fullest"
+                ),
             )
             for mid in self.midnodes:
                 mid.cache = self.cache_pool.member()
+            if cache_policy is not None:
+                # Placement: partition the budget across chain positions.
+                # Without a policy each member may use the whole budget
+                # (the historic behaviour, preserved bit-for-bit).
+                self.cache_pool.set_weights(placement_weights(
+                    cache_policy.placement, len(self.midnodes)
+                ))
+            # Content workloads share cached blocks under object names:
+            # one registry aliases every midnode's cache keys.
+            self.content: Optional[ContentRegistry] = None
+            if spec.content is not None:
+                self.content = ContentRegistry()
+                for mid in self.midnodes:
+                    mid.content = self.content
             responders = len(self.midnodes) + 1  # + Producer
             self._flow_state_bytes = FLOW_STATE_BYTES_PER_NODE * responders
             self._flow_share_bytes = memory_ceiling_bytes - cache_capacity
         else:
             self._build_router_chain(hops)
             self.cache_pool = None
+            self.content = None
             # A TCP flow pins state only at its endpoints plus one route
             # entry per router and direction.
             self._flow_state_bytes = (
@@ -311,6 +339,10 @@ class FlowPool:
             self._spawn_tcp(flow_id, demand)
 
     def _spawn_leotp(self, flow_id: str, demand: FlowDemand) -> None:
+        if self.content is not None and demand.object_id is not None:
+            # Bind before the first Interest: the midnodes' cache keys
+            # alias to the object name for this flow's whole lifetime.
+            self.content.bind(flow_id, object_name(demand.object_id))
         consumer = Consumer(
             self.sim,
             f"{flow_id}-cons",
@@ -407,6 +439,7 @@ class FlowPool:
         self._status[slot] = _COMPLETED
         self._records_cache = None
         self.completed += 1
+        self.delivered_bytes += self._size_b[slot]
         self._retire(flow_id)
         self.budget.set_account(
             "flows", self.active_flows * self._flow_state_bytes
@@ -456,6 +489,10 @@ class FlowPool:
                 mid.retire_flow(flow_id)
             self.producer.retire_flow(flow_id)
             self._consumers.pop(flow_id, None)
+            if self.content is not None:
+                # Unbind *after* the midnodes retired: the binding is
+                # what told them to keep the shared object blocks.
+                self.content.unbind(flow_id)
         else:
             self._delivered.pop(flow_id, None)
             snd_name = f"{flow_id}-snd"
@@ -662,6 +699,29 @@ class FlowPool:
             out["cache_pool_evictions"] = float(self.cache_pool.pool_evictions)
             out["cache_pool_evicted_bytes"] = float(
                 self.cache_pool.pool_evicted_bytes
+            )
+        if self.content is not None:
+            # Content effectiveness: what fraction of requested bytes the
+            # chain's caches served, what fraction came from bytes some
+            # *other* flow fetched, and how much origin (Producer) load
+            # the sharing removed.  Keys appear only for content pools so
+            # classic workload rows stay byte-stable.
+            lookup_b = hit_b = cross_b = 0
+            for mid in self.midnodes:
+                st = mid.cache.stats
+                lookup_b += st.lookup_bytes
+                hit_b += st.hit_bytes
+                cross_b += st.cross_hit_bytes
+            origin_b = self.producer.wire_bytes_sent
+            delivered = self.delivered_bytes
+            out["content_objects"] = float(len({
+                d.object_id for d in self._demands if d.object_id is not None
+            }))
+            out["cache_hit_ratio"] = hit_b / lookup_b if lookup_b else 0.0
+            out["cross_hit_ratio"] = cross_b / lookup_b if lookup_b else 0.0
+            out["origin_bytes"] = float(origin_b)
+            out["origin_load_reduction"] = (
+                max(0.0, 1.0 - origin_b / delivered) if delivered else 0.0
             )
         out.update(fct_percentiles(fcts))
         if goodputs:

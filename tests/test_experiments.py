@@ -101,8 +101,8 @@ class TestRegistry:
             "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
             "fig19", "table2", "ablation_vph", "ablation_params",
             "related_snoop", "constellation_study", "chaos", "churn",
-            "gateway", "multicast", "workload", "workload_sharded",
-            "workload_sharded_xl",
+            "content_study", "gateway", "multicast", "workload",
+            "workload_sharded", "workload_sharded_xl",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

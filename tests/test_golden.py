@@ -1,18 +1,24 @@
 """Golden-band regression fence for the headline figures.
 
 ``benchmarks/golden.json`` pins the current tree's deterministic fig02
-and fig10 summary rows inside ±10 % tolerance bands.  Experiments are
-seeded and single-threaded, so an in-band-but-moved value means a
-benign numeric refactor and an out-of-band value means the *model*
-changed — which is either a bug or a deliberate change that must
-regenerate the bands::
+and fig10 summary rows inside per-figure tolerance bands (the
+``band_pct`` field; fig10 is tightened to ±6 % now that its numbers
+are attributed — see below).  Experiments are seeded and
+single-threaded, so an in-band-but-moved value means a benign numeric
+refactor and an out-of-band value means the *model* changed — which is
+either a bug or a deliberate change that must regenerate the bands::
 
     PYTHONPATH=src python tests/test_golden.py   # rewrites golden.json
 
-Note the bands encode *tree* behaviour, not the paper's targets: the
-fig10 LEOTP recovery-cost discrepancy (tree 276–346 ms vs paper
-82–116 ms at scale 0.5) is an open ROADMAP.md item and is deliberately
-inside these bands until it is resolved.
+Note the bands encode *tree* behaviour, not the paper's targets.  The
+fig10 LEOTP recovery cost (tree 276–346 ms vs the paper-style
+82–116 ms at scale 0.5) is fully attributed to the responder-side
+re-serve suppression window (``responder_retx_suppress_s``): with the
+suppressor disabled the tree measures 77–116 ms, squarely in the old
+range, and the TR-backoff clamp has no effect either way.  The
+suppression is a deliberate trade (per-copy repair latency for storm
+damping — see EXPERIMENTS.md), so these bands pin the suppressed
+behaviour on purpose.
 """
 
 from __future__ import annotations
@@ -59,15 +65,17 @@ def test_figure_rows_inside_golden_bands(figure):
 
 
 def _regenerate() -> None:
-    """Rebuild every band as current-value ±10 % (same scale/seed/keys)."""
+    """Rebuild every band as current-value ± its ``band_pct`` (same
+    scale/seed/keys; ``band_pct`` defaults to 10)."""
     for figure, spec in GOLDEN["figures"].items():
         result = ALL_EXPERIMENTS[figure](
             scale=GOLDEN["scale"], seed=GOLDEN["seed"]
         )
+        frac = spec.get("band_pct", 10) / 100.0
         spec["bands"] = {
             "/".join(str(row[k]) for k in spec["key"]): [
-                round(row[spec["metric"]] * 0.9, 3),
-                round(row[spec["metric"]] * 1.1, 3),
+                round(row[spec["metric"]] * (1 - frac), 3),
+                round(row[spec["metric"]] * (1 + frac), 3),
             ]
             for row in result.rows
         }

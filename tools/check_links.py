@@ -4,8 +4,11 @@
 Scans every tracked ``*.md`` file for inline links/images and reference
 definitions, resolves relative targets against the linking file, and
 exits 1 listing any target that does not exist.  External schemes
-(http/https/mailto) and pure in-page anchors (``#section``) are skipped;
-an anchor on a file link (``DESIGN.md#foo``) checks only the file.
+(http/https/mailto) are skipped.  Anchored links are checked against the
+target file's headings using GitHub's slug rules — ``DESIGN.md#foo``
+verifies both that ``DESIGN.md`` exists and that it contains a heading
+slugging to ``foo``; pure in-page anchors (``#section``) are checked
+against the linking file's own headings.
 
     python tools/check_links.py            # whole repo
     python tools/check_links.py README.md  # specific files
@@ -25,6 +28,59 @@ INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
 SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
 
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+# GitHub's slugger keeps word chars (unicode letters, digits, underscore),
+# spaces, and hyphens; everything else is dropped before spaces -> hyphens.
+SLUG_DROP = re.compile(r"[^\w\- ]", re.UNICODE)
+MD_LINK_TEXT = re.compile(r"\[([^\]]*)\]\([^)]*\)")
+
+
+def github_slug(heading: str) -> str:
+    """Slug a rendered heading the way GitHub's anchor generator does."""
+    text = MD_LINK_TEXT.sub(r"\1", heading)     # [text](url) -> text
+    text = text.replace("`", "").replace("*", "")
+    return SLUG_DROP.sub("", text.strip().lower()).replace(" ", "-")
+
+
+def heading_slugs(path: Path, cache: dict[Path, set[str]]) -> set[str]:
+    """All anchor slugs in *path*, with GitHub's -1/-2 duplicate suffixes."""
+    if path not in cache:
+        text = FENCE.sub("", path.read_text(encoding="utf-8"))
+        slugs: set[str] = set()
+        seen: dict[str, int] = {}
+        for match in HEADING.finditer(text):
+            slug = github_slug(match.group(1))
+            n = seen.get(slug, 0)
+            seen[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(path: Path, slug_cache: dict[Path, set[str]]) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    # Fenced code blocks routinely contain example "links"; drop them.
+    text = FENCE.sub("", text)
+    problems = []
+    name = str(path.relative_to(ROOT)) if path.is_relative_to(ROOT) else str(path)
+    targets = INLINE_LINK.findall(text) + REF_DEF.findall(text)
+    for target in targets:
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        candidate, _, anchor = target.partition("#")
+        resolved = (path.parent / candidate).resolve() if candidate else path
+        if not resolved.exists():
+            problems.append(f"{name}: broken link -> {target}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor.lower() not in heading_slugs(resolved, slug_cache):
+                problems.append(
+                    f"{name}: broken anchor -> {target} "
+                    f"(no heading slugs to #{anchor.lower()})"
+                )
+    return problems
+
 
 def markdown_files(args: list[str]) -> list[Path]:
     if args:
@@ -37,35 +93,18 @@ def markdown_files(args: list[str]) -> list[Path]:
     return [ROOT / p for p in out]
 
 
-def check_file(path: Path) -> list[str]:
-    text = path.read_text(encoding="utf-8")
-    # Fenced code blocks routinely contain example "links"; drop them.
-    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
-    problems = []
-    targets = INLINE_LINK.findall(text) + REF_DEF.findall(text)
-    for target in targets:
-        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
-            continue
-        candidate = target.split("#", 1)[0]
-        if not candidate:
-            continue
-        resolved = (path.parent / candidate).resolve()
-        if not resolved.exists():
-            problems.append(f"{path.relative_to(ROOT)}: broken link -> {target}")
-    return problems
-
-
 def main(argv: list[str] | None = None) -> int:
     files = markdown_files(sys.argv[1:] if argv is None else argv)
     problems: list[str] = []
+    slug_cache: dict[Path, set[str]] = {}
     for path in sorted(set(files)):
-        problems.extend(check_file(path))
+        problems.extend(check_file(path, slug_cache))
     for line in problems:
         print(line, file=sys.stderr)
     if problems:
         print(f"{len(problems)} broken link(s)", file=sys.stderr)
         return 1
-    print(f"checked {len(files)} markdown file(s): all links resolve")
+    print(f"checked {len(files)} markdown file(s): all links and anchors resolve")
     return 0
 
 
