@@ -10,8 +10,15 @@ from repro.analysis.formulas import (
     throughput_hbh,
 )
 from repro.analysis.owd_model import OwdDistribution, simulate_owd_e2e, simulate_owd_hbh
+from repro.analysis.plots import (
+    have_matplotlib,
+    plot_goodput_cdf,
+    plot_rate_ladder,
+    plot_recovery_timeline,
+)
 from repro.analysis.report import (
     cache_efficiency,
+    ccbench_summary,
     churn_summary,
     content_summary,
     event_counts,
@@ -32,6 +39,7 @@ from repro.analysis.stats import (
 __all__ = [
     "OwdDistribution",
     "cache_efficiency",
+    "ccbench_summary",
     "churn_summary",
     "content_summary",
     "event_counts",
@@ -42,9 +50,13 @@ __all__ = [
     "end_to_end_plr",
     "fct_percentiles",
     "goodput_cdf",
+    "have_matplotlib",
     "hbh_owd_ratio",
     "hbh_throughput_gain",
     "jain_fairness",
+    "plot_goodput_cdf",
+    "plot_rate_ladder",
+    "plot_recovery_timeline",
     "mean_owd_e2e",
     "mean_owd_hbh",
     "percentile",

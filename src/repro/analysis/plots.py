@@ -1,0 +1,195 @@
+"""Figure writers for the analysis layer (matplotlib-optional).
+
+The report module renders the per-hop rate ladder, per-handover
+recovery timeline, and goodput distributions as text; this module turns
+the same inputs into PNG/PDF figures — the natural artifacts of the CC
+bake-off and the cache studies.
+
+matplotlib is deliberately a *soft* dependency: the simulation container
+does not ship it, and nothing in the repro stack may require it.  Every
+writer probes for it lazily and, when it is missing, returns ``None``
+instead of a path — callers (CLI hooks, notebooks, CI) degrade to the
+text tables without special-casing.  :func:`have_matplotlib` exposes the
+probe for callers that want to warn up front.
+
+Inputs are plain row/sample dicts — the same shapes
+:mod:`repro.analysis.report` consumes and ``--metrics-out`` JSONL files
+reload to — so figures can be regenerated offline from saved runs.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from typing import Optional, Sequence
+
+__all__ = [
+    "have_matplotlib",
+    "plot_rate_ladder",
+    "plot_goodput_cdf",
+    "plot_recovery_timeline",
+]
+
+
+def have_matplotlib() -> bool:
+    """True when matplotlib is importable (checked lazily, never cached
+    as a hard failure — an env var toggle mid-process keeps working)."""
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _axes():
+    """A fresh (fig, ax) on the Agg backend, or None without matplotlib."""
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        return None
+    return plt.subplots(figsize=(8.0, 4.5))
+
+
+def _save(fig, path: str) -> str:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    fig.savefig(path, dpi=150, bbox_inches="tight")
+    import matplotlib.pyplot as plt
+
+    plt.close(fig)
+    return path
+
+
+def plot_rate_ladder(
+    samples: Sequence[dict],
+    path: str,
+    run: Optional[str] = None,
+    series: str = "rate",
+) -> Optional[str]:
+    """Per-hop rate series over time (the paper's hop-by-hop ladder).
+
+    ``samples`` are metrics-registry sample dicts (``--metrics-out``
+    rows); one line per node carrying the ``series`` value.  Returns the
+    written path, or None when matplotlib is unavailable or no matching
+    samples exist.
+    """
+    made = _axes()
+    if made is None:
+        return None
+    fig, ax = made
+    per_node: dict[str, list[tuple[float, float]]] = defaultdict(list)
+    for row in samples:
+        if row.get("event") != "sample" or row.get("series") != series:
+            continue
+        if run is not None and row.get("run") != run:
+            continue
+        per_node[row["node"]].append((row["t"], row["value"]))
+    if not per_node:
+        import matplotlib.pyplot as plt
+
+        plt.close(fig)
+        return None
+    for node in sorted(per_node):
+        points = sorted(per_node[node])
+        ax.plot([p[0] for p in points], [p[1] for p in points],
+                label=node, linewidth=1.0)
+    ax.set_xlabel("time (s)")
+    ax.set_ylabel(series)
+    ax.set_title(f"per-hop {series} ladder")
+    ax.legend(fontsize=7, ncol=2)
+    return _save(fig, path)
+
+
+def plot_goodput_cdf(
+    rows: Sequence[dict],
+    path: str,
+    value_key: str = "goodput_mbps",
+    group_key: str = "cc",
+) -> Optional[str]:
+    """CDF of ``value_key`` across cells, one curve per ``group_key``.
+
+    For the bake-off: the distribution of per-cell aggregate goodput for
+    each congestion control across the {cadence} x {load} x {loss}
+    matrix.  Works for any numeric row column (FCT percentiles, monitor
+    goodput, ...).
+    """
+    made = _axes()
+    if made is None:
+        return None
+    fig, ax = made
+    groups: dict[str, list[float]] = defaultdict(list)
+    for row in rows:
+        value = row.get(value_key)
+        if value is None:
+            continue
+        groups[str(row.get(group_key, "?"))].append(float(value))
+    if not groups:
+        import matplotlib.pyplot as plt
+
+        plt.close(fig)
+        return None
+    for label in sorted(groups):
+        values = sorted(groups[label])
+        n = len(values)
+        # Step CDF: P(X <= x) at each observed value.
+        ax.step(values, [(i + 1) / n for i in range(n)],
+                where="post", label=label)
+    ax.set_xlabel(value_key)
+    ax.set_ylabel("fraction of cells")
+    ax.set_ylim(0.0, 1.02)
+    ax.set_title(f"{value_key} CDF by {group_key}")
+    ax.legend(fontsize=8)
+    return _save(fig, path)
+
+
+def plot_recovery_timeline(
+    reports: Sequence[dict],
+    path: str,
+    group_key: str = "cc",
+) -> Optional[str]:
+    """Per-handover recovery latency against handover time.
+
+    ``reports`` rows need ``fault_start_s`` and ``time_to_recovery_s``
+    (seconds; None = unrecovered, drawn as a marker on the top edge),
+    plus the ``group_key`` label — i.e. ``RecoveryReport`` dicts tagged
+    with the controller that produced them.
+    """
+    made = _axes()
+    if made is None:
+        return None
+    fig, ax = made
+    groups: dict[str, list[dict]] = defaultdict(list)
+    for rep in reports:
+        if rep.get("fault_start_s") is None:
+            continue
+        groups[str(rep.get(group_key, "?"))].append(rep)
+    if not groups:
+        import matplotlib.pyplot as plt
+
+        plt.close(fig)
+        return None
+    recovered_ms = [
+        rep["time_to_recovery_s"] * 1e3
+        for reps in groups.values() for rep in reps
+        if rep.get("time_to_recovery_s") is not None
+    ]
+    ceiling = max(recovered_ms) * 1.15 if recovered_ms else 1e3
+    for label in sorted(groups):
+        reps = sorted(groups[label], key=lambda r: r["fault_start_s"])
+        xs = [r["fault_start_s"] for r in reps]
+        ys = [
+            r["time_to_recovery_s"] * 1e3
+            if r.get("time_to_recovery_s") is not None else ceiling
+            for r in reps
+        ]
+        ax.plot(xs, ys, marker="o", markersize=3, linewidth=1.0,
+                label=label)
+    ax.set_xlabel("handover time (s)")
+    ax.set_ylabel("recovery latency (ms)")
+    ax.set_title("per-handover recovery timeline "
+                 f"(top edge = unrecovered, >{ceiling:.0f} ms)")
+    ax.legend(fontsize=8)
+    return _save(fig, path)

@@ -372,6 +372,79 @@ def churn_summary(rows: Sequence[dict], title: str = "churn") -> str:
     return "\n".join(lines)
 
 
+def ccbench_summary(rows: Sequence[dict], title: str = "ccbench") -> str:
+    """Human-readable summary of the CC bake-off matrix.
+
+    ``rows`` are the per-(cadence, load, loss, cc) cells from the
+    ``ccbench`` experiment.  Aggregates each controller across the
+    matrix (mean per-handover recovery on the monitor flow, aggregate
+    goodput, completion rate, tail FCT), then calls out the per-cell
+    recovery winner and the OrbCC-vs-BBR head-to-head the bake-off
+    exists to answer.
+    """
+    lines = [f"-- ccbench summary: {title} --"]
+    by_cc: dict[str, list[dict]] = defaultdict(list)
+    by_cell: dict[tuple, list[dict]] = defaultdict(list)
+    for row in rows:
+        by_cc[str(row.get("cc", "?"))].append(row)
+        cell = (row.get("cadence"), row.get("load"), row.get("loss"))
+        by_cell[cell].append(row)
+
+    def _mean(cells: list[dict], key: str) -> float:
+        vals = [c.get(key) for c in cells if c.get(key) is not None]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    ranked = sorted(
+        by_cc.items(), key=lambda kv: _mean(kv[1], "recovery_mean_ms")
+    )
+    for cc, cells in ranked:
+        arrivals = sum(int(c.get("arrivals", 0)) for c in cells)
+        completed = sum(int(c.get("completed", 0)) for c in cells)
+        lines.append(
+            f"  {cc}: recovery mean {_mean(cells, 'recovery_mean_ms'):.0f} ms"
+            f" (max {max((c.get('recovery_max_ms', 0.0) or 0.0) for c in cells):.0f}),"
+            f" {sum(int(c.get('unrecovered', 0)) for c in cells)} unrecovered,"
+            f" goodput {_mean(cells, 'goodput_mbps'):.2f} Mbps,"
+            f" {completed}/{arrivals} flows,"
+            f" fct p90 {_mean(cells, 'fct_p90_s'):.2f} s,"
+            f" Jain {_mean(cells, 'jain_mean'):.3f}"
+        )
+    wins: Counter = Counter()
+    for cell, cell_rows in by_cell.items():
+        best = min(
+            cell_rows,
+            key=lambda r: r.get("recovery_mean_ms") or float("inf"),
+        )
+        wins[str(best.get("cc", "?"))] += 1
+    lines.append(
+        "  per-cell recovery wins: "
+        + ", ".join(f"{cc}={n}" for cc, n in wins.most_common())
+    )
+    # The bake-off's headline question: does handover awareness pay?
+    orb = [r for r in rows if str(r.get("cc", "")).startswith("orbcc")]
+    bbr = [r for r in rows if r.get("cc") == "bbr"]
+    if orb and bbr:
+        pairs = 0
+        orb_wins = 0
+        for o in orb:
+            cell = (o.get("cadence"), o.get("load"), o.get("loss"))
+            match = [
+                b for b in bbr
+                if (b.get("cadence"), b.get("load"), b.get("loss")) == cell
+            ]
+            if match and o.get("recovery_mean_ms") is not None:
+                pairs += 1
+                if o["recovery_mean_ms"] < match[0].get(
+                    "recovery_mean_ms", float("inf")
+                ):
+                    orb_wins += 1
+        lines.append(
+            f"  orbcc vs bbr (per-handover recovery): orbcc faster in "
+            f"{orb_wins}/{pairs} cells"
+        )
+    return "\n".join(lines)
+
+
 def run_summary(
     records: Sequence[dict],
     samples: Sequence[dict] = (),

@@ -164,6 +164,30 @@ class TopologyEventStream:
 
             sim.schedule_at(event.at_s, emit, priority=-1)
 
+    def arm_signal(self, sim, callback, *, kinds=None) -> int:
+        """Deliver each event's ``kind`` to ``callback(kind)`` at its time.
+
+        The churn-signal hook for handover-aware congestion control:
+        wiring ``stream.arm_signal(sim, sender.notify_churn)`` makes a
+        TCP sender's CC see ``PathSwitch``/``GsReattach``/... as they
+        happen, exactly as a local link-layer up-call would.  ``kinds``
+        filters the subscription (default: every event kind).  Signals
+        fire at priority -1, before same-time packet events, so the CC
+        reacts to a handover before the first post-handover ACK.
+        Returns the number of callbacks scheduled.
+        """
+        armed = 0
+        for event in self._events:
+            if kinds is not None and event.kind not in kinds:
+                continue
+
+            def deliver(e: TopologyEvent = event) -> None:
+                callback(e.kind)
+
+            sim.schedule_at(event.at_s, deliver, priority=-1)
+            armed += 1
+        return armed
+
 
 def merge_streams(
     *streams: TopologyEventStream,

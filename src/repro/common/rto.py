@@ -56,3 +56,19 @@ class RtoEstimator:
         if factor <= 1.0:
             raise ValueError("backoff factor must exceed 1")
         self._rto_s = min(self._rto_s * factor, self.max_rto_s)
+
+    def refresh(self) -> None:
+        """Drop accumulated backoff: recompute the RTO from SRTT/RTTVAR.
+
+        For handover-aware transports: a backed-off RTO encodes timeouts
+        suffered on a path that no longer exists.  After a path switch
+        the estimator's measured timescale is the right restart point —
+        without this, loss detection on the new path waits out backoff
+        accumulated while the old one blacked out.  No-op before the
+        first RTT sample (there is nothing better to recompute from).
+        """
+        if self.srtt_s is None:
+            return
+        assert self.rttvar_s is not None
+        raw = self.srtt_s + self.K * self.rttvar_s
+        self._rto_s = min(max(raw, self.min_rto_s), self.max_rto_s)

@@ -10,6 +10,7 @@ from repro.experiments import (
     ablation_parameters,
     constellation_study,
     ablation_vph,
+    ccbench,
     chaos_suite,
     churn_study,
     content_study,
@@ -66,6 +67,7 @@ ALL_EXPERIMENTS = {
     "table2": table2_ablation.run,
     "ablation_vph": ablation_vph.run,
     "ablation_params": ablation_parameters.run,
+    "ccbench": ccbench.run,
     "chaos": chaos_suite.run,
     "churn": churn_study.run,
     "content_study": content_study.run,

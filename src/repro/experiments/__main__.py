@@ -9,6 +9,14 @@ Usage::
     python -m repro.experiments --profile fig12 # cProfile dump per experiment
     python -m repro.experiments fig10 --trace   # packet-level trace + summary
     python -m repro.experiments fig10 --trace --metrics-out out.jsonl
+    python -m repro.experiments ccbench --cc orbcc --cc-param probe_gain=2.5
+    python -m repro.experiments ccbench --cc-module my_pkg.my_cc --cc mycc
+
+``--cc NAME`` overrides/selects the congestion control for the
+CC-aware experiments (``workload``, ``churn``, ``ccbench``); repeated
+``--cc-param k=v`` flags forward constructor params.  ``--cc-module``
+imports a module first (in every worker process) so third-party
+``@register_cc`` controllers are selectable without editing repro.
 
 ``--jobs N`` runs experiments in up to N worker processes.  Each worker
 owns its own Simulator and RngRegistry, so the printed rows are
@@ -81,6 +89,23 @@ def main(argv: list[str] | None = None) -> int:
         help="metrics sampler cadence for observed runs (default: the "
              "experiment's SAMPLER_INTERVAL_S, else 0.05)",
     )
+    parser.add_argument(
+        "--cc", metavar="NAME", default=None,
+        help="congestion control for CC-aware experiments (workload, "
+             "churn, ccbench): a registry name, e.g. orbcc; "
+             "ccbench restricts its CC axis to this one controller",
+    )
+    parser.add_argument(
+        "--cc-param", metavar="K=V", action="append", default=None,
+        help="constructor param for --cc (repeatable), e.g. "
+             "--cc-param probe_gain=2.5; values parse as "
+             "bool/int/float/str",
+    )
+    parser.add_argument(
+        "--cc-module", metavar="DOTTED.PATH", default=None,
+        help="import this module first so its @register_cc controllers "
+             "become selectable via --cc without editing repro",
+    )
     args = parser.parse_args(argv)
 
     names = args.experiments or list(ALL_EXPERIMENTS)
@@ -101,9 +126,31 @@ def main(argv: list[str] | None = None) -> int:
     if args.trace_out is not None and len(names) > 1:
         parser.error("--trace-out needs exactly one experiment id")
 
+    cc_spec = None
+    if args.cc_param and not args.cc:
+        parser.error("--cc-param requires --cc")
+    if args.cc_module is not None:
+        import importlib
+
+        importlib.import_module(args.cc_module)
+    if args.cc is not None:
+        from repro.tcp.cc import CC_REGISTRY, CCSpec, parse_cc_params
+
+        name = args.cc.lower()
+        if name != "leotp" and name not in CC_REGISTRY:
+            parser.error(
+                f"unknown congestion control {args.cc!r}; known: "
+                f"leotp, {', '.join(sorted(CC_REGISTRY))}"
+            )
+        try:
+            cc_spec = CCSpec(name, parse_cc_params(args.cc_param))
+        except ValueError as exc:
+            parser.error(str(exc))
+
     spec = RunSpec(
         scale=args.scale, seed=args.seed, observe=observe,
         profile_dir=profile_dir, sampler_interval_s=args.sampler_interval,
+        cc=cc_spec, cc_module=args.cc_module,
     )
     t_start = time.time()
     outcomes = run_experiments(names, spec, jobs=args.jobs)
@@ -123,6 +170,10 @@ def main(argv: list[str] | None = None) -> int:
             from repro.analysis.report import content_summary
 
             print(content_summary(result.rows))
+        if outcome.name == "ccbench":
+            from repro.analysis.report import ccbench_summary
+
+            print(ccbench_summary(result.rows))
         line = f"(wall {outcome.wall_s:.0f}s, scale {args.scale}"
         if outcome.profile_path:
             line += f", profile {outcome.profile_path}"

@@ -108,8 +108,12 @@ def _single_flow_row(
     duration_s: float,
     seed: int,
     total_bytes: Optional[int],
+    cc_spec=None,
 ) -> dict:
     """Run one monitored flow under the pair's churn; return row columns."""
+    from repro.tcp.cc import as_cc_spec
+
+    cc_spec = as_cc_spec(cc_spec if cc_spec is not None else "bbr")
     faults = faults_from_stream(stream, n_hops)
     update_s = ORBIT_STEP_S / COMPRESSION
 
@@ -144,7 +148,8 @@ def _single_flow_row(
             path = build_path(
                 sim, rng,
                 PathSpec(
-                    protocol=spec_protocol, hops=tuple(hops), cc_name="bbr",
+                    protocol=spec_protocol, hops=tuple(hops),
+                    cc_name=cc_spec,
                 ),
                 recorder=recorder,
             )
@@ -152,7 +157,7 @@ def _single_flow_row(
             return path
 
         res = run_tcp_chaos(
-            faults, cc_name="bbr", duration_s=duration_s, seed=seed,
+            faults, cc_name=cc_spec, duration_s=duration_s, seed=seed,
             builder=build,
         )
 
@@ -169,8 +174,13 @@ def _single_flow_row(
         recovery_window_s=0.25, horizon_s=horizon,
     )
     delivered = res.path.recorder.total_bytes
+    # Keep the paper's row names for the default; a --cc override shows
+    # the substituted controller in the protocol column.
+    label = protocol
+    if protocol != "leotp" and cc_spec.label() != "bbr":
+        label = protocol.replace("bbr", cc_spec.label())
     row = {
-        "protocol": protocol,
+        "protocol": label,
         "goodput_mbps": delivered * 8 / duration_s / 1e6,
         "completed": res.completed,
         "invariant_violations": sum(1 for r in res.invariants if not r.ok),
@@ -241,8 +251,18 @@ def _pool_row(
     }
 
 
-def run_churn(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
-    """LEOTP vs split-TCP/BBR vs BBR under geometry-driven churn."""
+def run_churn(
+    scale: float = 1.0, seed: int = 0, cc=None
+) -> ExperimentResult:
+    """LEOTP vs split-TCP vs end-to-end TCP under geometry churn.
+
+    ``cc`` (name or :class:`~repro.tcp.cc.CCSpec`) swaps the congestion
+    control used by the TCP rows — default BBR, matching the paper's
+    baseline.
+    """
+    from repro.tcp.cc import as_cc_spec
+
+    cc_spec = as_cc_spec(cc if cc is not None else "bbr")
     duration_s = scaled_duration(24.0, scale, minimum_s=8.0)
     # Sized to finish inside the run at the 10 Mbps GSL bottleneck even
     # with handover dips, so ByteExactDelivery audits a complete flow.
@@ -278,6 +298,7 @@ def run_churn(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
                 protocol, compressed, stream, n_hops, hops,
                 duration_s, seed,
                 total_bytes if protocol == "leotp" else None,
+                cc_spec=cc_spec,
             )
             result.add(**base, **row)
         result.add(**base, **_pool_row(

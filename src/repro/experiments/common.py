@@ -27,6 +27,7 @@ from repro.simcore import RngRegistry, Simulator
 from repro.tcp import FiniteStream, SplitTcpPath, TcpPath
 from repro.tcp import build_e2e_tcp_path as _build_e2e_tcp_path
 from repro.tcp import build_split_tcp_path as _build_split_tcp_path
+from repro.tcp.cc import CCSpec, as_cc_spec
 from repro.tcp.connection import ByteStream
 from repro.tcp.segment import DEFAULT_MSS
 
@@ -47,7 +48,8 @@ class PathSpec:
     * ``protocol="leotp"`` uses ``config``/``coverage`` and the optional
       cache placement cell ``cache_policy``/``cache_total_bytes``;
     * ``protocol="tcp"`` (end-to-end) and ``"split_tcp"`` use
-      ``cc_name``/``mss``;
+      ``cc_name``/``mss``; ``cc_name`` accepts a registry name or a
+      :class:`~repro.tcp.cc.CCSpec` (stored coerced to a spec);
     * ``stop_time`` is honoured by leotp and tcp (split proxies have no
       per-connection stop).
 
@@ -65,7 +67,7 @@ class PathSpec:
 
     protocol: str = "leotp"
     hops: tuple[HopSpec, ...] = ()
-    cc_name: str = "cubic"
+    cc_name: Union[str, CCSpec] = "cubic"
     config: Optional[LeotpConfig] = None
     coverage: float = 1.0
     total_bytes: Optional[int] = None
@@ -77,6 +79,10 @@ class PathSpec:
     cache_total_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
+        # Coerce bare names so the frozen spec always carries a CCSpec
+        # (hashable, picklable, param-capable); string call sites and
+        # pickled plans keep working unchanged.
+        object.__setattr__(self, "cc_name", as_cc_spec(self.cc_name))
         if self.protocol not in PATH_PROTOCOLS:
             raise ValueError(
                 f"unknown protocol {self.protocol!r}; "

@@ -38,6 +38,17 @@ class RunSpec:
     observed runs; when None, an experiment module may provide its own
     default via a module-level ``SAMPLER_INTERVAL_S``, falling back to
     :data:`repro.obs.metrics.DEFAULT_INTERVAL_S` (50 ms).
+
+    ``cc`` (a :class:`~repro.tcp.cc.CCSpec`; bare names are coerced)
+    selects/overrides the congestion control for experiments that take a
+    ``cc`` keyword (``workload``, ``churn``, ``ccbench``); ids that
+    don't accept it ignore the field.  The spec is frozen and picklable,
+    so it rides through the process pool unchanged.
+
+    ``cc_module`` names a module imported (for its ``@register_cc`` side
+    effects) inside :func:`run_one` — i.e. in every pool worker, not
+    just the parent process — so a third-party controller selected via
+    ``--cc`` resolves under ``--jobs N`` too.
     """
 
     scale: float = 1.0
@@ -45,12 +56,18 @@ class RunSpec:
     observe: bool = False
     profile_dir: Optional[str] = None
     sampler_interval_s: Optional[float] = None
+    cc: Optional[object] = None
+    cc_module: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
             raise ValueError(f"scale must be positive, got {self.scale}")
         if self.sampler_interval_s is not None and self.sampler_interval_s <= 0:
             raise ValueError("sampler_interval_s must be positive")
+        if self.cc is not None:
+            from repro.tcp.cc import as_cc_spec
+
+            object.__setattr__(self, "cc", as_cc_spec(self.cc))
 
 
 @dataclass
@@ -91,7 +108,17 @@ def run_one(name: str, spec: RunSpec = RunSpec()) -> RunOutcome:
     """
     from repro.experiments import ALL_EXPERIMENTS
 
+    if spec.cc_module is not None:
+        import importlib
+
+        importlib.import_module(spec.cc_module)
     run = ALL_EXPERIMENTS[name]
+    kwargs = {}
+    if spec.cc is not None:
+        import inspect
+
+        if "cc" in inspect.signature(run).parameters:
+            kwargs["cc"] = spec.cc
     profile_path = None
     trace_records = None
     metric_samples = None
@@ -115,12 +142,12 @@ def run_one(name: str, spec: RunSpec = RunSpec()) -> RunOutcome:
             profiler = cProfile.Profile()
             profiler.enable()
             try:
-                result = run(scale=spec.scale, seed=spec.seed)
+                result = run(scale=spec.scale, seed=spec.seed, **kwargs)
             finally:
                 profiler.disable()
                 profiler.dump_stats(profile_path)
         else:
-            result = run(scale=spec.scale, seed=spec.seed)
+            result = run(scale=spec.scale, seed=spec.seed, **kwargs)
     finally:
         if spec.observe:
             trace_records = TRACER.drain()

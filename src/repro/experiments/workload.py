@@ -44,7 +44,13 @@ MEMORY_CEILING_BYTES = 8 << 20
 DRAIN_S = 8.0  # extra simulated time after the last arrival
 
 
-def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
+def run(scale: float = 1.0, seed: int = 0, cc=None) -> ExperimentResult:
+    """Many-flow workload; ``cc`` (name or CCSpec) swaps the TCP rows' CC."""
+    protocols: tuple = PROTOCOLS
+    if cc is not None:
+        from repro.tcp.cc import as_cc_spec
+
+        protocols = ("leotp", as_cc_spec(cc))
     n_flows = max(int(round(2000 * scale)), 60)
     spec = WorkloadSpec(
         arrival="poisson",
@@ -62,7 +68,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         f"{N_HOPS}-hop chain, {MEMORY_CEILING_BYTES >> 20} MiB memory budget",
     )
     duration_s = n_flows / ARRIVAL_RATE_PER_S + DRAIN_S
-    for protocol in PROTOCOLS:
+    for protocol in protocols:
         sim = Simulator()
         rng = RngRegistry(seed)
         pool = FlowPool(
@@ -81,7 +87,7 @@ def run(scale: float = 1.0, seed: int = 0) -> ExperimentResult:
         pool.finalize()
         s = pool.summary()
         result.add(
-            protocol=protocol,
+            protocol=str(protocol),
             arrivals=int(s["arrivals"]),
             completed=int(s["completed"]),
             aborted=int(s["aborted"]),

@@ -21,7 +21,7 @@ known transfer size (a real gateway would use a FIN-equivalent frame).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.core.config import LeotpConfig
 from repro.core.consumer import Consumer
@@ -35,8 +35,14 @@ from repro.netsim.topology import HopSpec, build_chain
 from repro.netsim.trace import FlowRecorder
 from repro.simcore.random import RngRegistry
 from repro.simcore.simulator import Simulator
-from repro.tcp.cc import make_cc
-from repro.tcp.connection import FiniteStream, ProxyStream, TcpReceiver, TcpSender
+from repro.tcp.cc import CCSpec
+from repro.tcp.connection import (
+    FiniteStream,
+    ProxyStream,
+    TcpReceiver,
+    TcpSender,
+    make_tcp_sender,
+)
 from repro.tcp.segment import TcpSegment
 
 
@@ -82,7 +88,7 @@ class EgressGateway(Node):
         client_name: str,
         total_bytes: Optional[int],
         config: LeotpConfig = LeotpConfig(),
-        cc_name: str = "cubic",
+        cc_name: Union[str, CCSpec] = "cubic",
         recorder: Optional[FlowRecorder] = None,
     ) -> None:
         super().__init__(sim, name)
@@ -91,8 +97,8 @@ class EgressGateway(Node):
             sim, name, flow_id, config, total_bytes=total_bytes,
             recorder=recorder, deliver=self._on_leotp_bytes,
         )
-        self.tcp_sender = TcpSender(
-            sim, name, client_name, None, make_cc(cc_name), stream=self.stream,
+        self.tcp_sender = make_tcp_sender(
+            sim, name, client_name, None, cc_name, stream=self.stream,
         )
 
     def _on_leotp_bytes(self, nbytes: int, origin_ts: float) -> None:
@@ -159,7 +165,7 @@ def build_gateway_path(
     leo_hops: Sequence[HopSpec],
     terrestrial_spec: Optional[HopSpec] = None,
     config: LeotpConfig = LeotpConfig(),
-    tcp_cc: str = "cubic",
+    tcp_cc: Union[str, CCSpec] = "cubic",
     flow_id: str = "bridged",
 ) -> GatewayPath:
     """Wire the full bridged deployment over an N-hop LEO segment.
@@ -172,8 +178,8 @@ def build_gateway_path(
     terrestrial = terrestrial_spec or HopSpec(rate_bps=100e6, delay_s=0.005)
     recorder = FlowRecorder(sim, name=flow_id)
 
-    server = TcpSender(
-        sim, "server", "gw-ingress", None, make_cc(tcp_cc),
+    server = make_tcp_sender(
+        sim, "server", "gw-ingress", None, tcp_cc,
         stream=FiniteStream(total_bytes), flow_id="terrestrial-up",
     )
     ingress = IngressGateway(sim, "gw-ingress", flow_id, config,

@@ -2,53 +2,78 @@
 
 These provide the comparison protocols of the paper's evaluation
 (Sec. V): Reno/Cubic/Hybla as loss-based references, BBR and a PCC-style
-rate prober as the modern rate-based baselines of Figs. 10-13.  All
-share the :class:`CongestionControl` interface consumed by
-:class:`~repro.tcp.connection.TcpSender`; :func:`make_cc` maps the
-experiment-facing names to instances.
+rate prober as the modern rate-based baselines of Figs. 10-13, plus the
+LEO-native contenders of the bake-off (OrbCC-style handover-aware rate
+control and a simple learned policy).  All share the
+:class:`CongestionControl` interface consumed by
+:class:`~repro.tcp.connection.TcpSender`.
+
+Selection is registry-driven: classes self-register with the
+:func:`register_cc` decorator (importing this package pulls in every
+built-in module, which triggers their registrations), :func:`make_cc`
+instantiates by name or from a :class:`CCSpec` carrying per-algorithm
+params.  Third-party controllers register from their own module — see
+:mod:`repro.tcp.cc.registry`.
 """
 
-from typing import Callable
+from typing import Union
 
+from repro.tcp.cc.registry import CC_REGISTRY, RESERVED_CC_NAMES, register_cc
+from repro.tcp.cc.spec import CCSpec, as_cc_spec, parse_cc_params
+
+# Importing the implementation modules triggers their @register_cc
+# registrations; the class re-exports keep the old import surface.
 from repro.tcp.cc.base import CongestionControl, RenoCC
+from repro.tcp.cc.adaptive import AdaptiveCC
 from repro.tcp.cc.bbr import BbrCC
 from repro.tcp.cc.cubic import CubicCC
 from repro.tcp.cc.hybla import HyblaCC
+from repro.tcp.cc.orbcc import OrbCC
 from repro.tcp.cc.pcc import PccVivaceCC
 from repro.tcp.cc.vegas import VegasCC
 from repro.tcp.cc.westwood import WestwoodCC
 
-CC_REGISTRY: dict[str, Callable[..., CongestionControl]] = {
-    "reno": RenoCC,
-    "cubic": CubicCC,
-    "hybla": HyblaCC,
-    "westwood": WestwoodCC,
-    "vegas": VegasCC,
-    "bbr": BbrCC,
-    "pcc": PccVivaceCC,
-}
 
+def make_cc(cc: Union[str, "CCSpec"], mss: int = 1400) -> CongestionControl:
+    """Instantiate a congestion-control algorithm by name or spec.
 
-def make_cc(name: str, mss: int = 1400) -> CongestionControl:
-    """Instantiate a congestion-control algorithm by registry name."""
+    A bare string is coerced (``"bbr"`` → ``CCSpec("bbr")``); a
+    :class:`CCSpec`'s params are forwarded as constructor keywords, so
+    ``make_cc(CCSpec("orbcc", {"probe_gain": 2.5}))`` is
+    ``OrbCC(mss=..., probe_gain=2.5)``.
+    """
+    spec = as_cc_spec(cc)
     try:
-        factory = CC_REGISTRY[name.lower()]
+        factory = CC_REGISTRY[spec.name]
     except KeyError:
         raise ValueError(
-            f"unknown congestion control {name!r}; choose from {sorted(CC_REGISTRY)}"
+            f"unknown congestion control {spec.name!r}; "
+            f"choose from {sorted(CC_REGISTRY)}"
         ) from None
-    return factory(mss=mss)
+    try:
+        return factory(mss=mss, **spec.params_dict)
+    except TypeError as exc:
+        raise ValueError(
+            f"bad params for congestion control {spec.name!r}: {exc}"
+        ) from None
 
 
 __all__ = [
+    "AdaptiveCC",
     "BbrCC",
+    "CCSpec",
     "CC_REGISTRY",
     "CongestionControl",
     "CubicCC",
     "HyblaCC",
+    "OrbCC",
     "PccVivaceCC",
+    "RESERVED_CC_NAMES",
     "RenoCC",
     "VegasCC",
     "WestwoodCC",
+    "as_cc_spec",
     "make_cc",
+    "parse_cc_params",
+    "register_cc",
 ]

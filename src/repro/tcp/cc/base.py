@@ -12,6 +12,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Optional
 
+from repro.tcp.cc.registry import register_cc
 from repro.tcp.segment import DEFAULT_MSS
 
 
@@ -19,6 +20,21 @@ class CongestionControl(ABC):
     """Base class for all congestion-control algorithms."""
 
     name = "base"
+
+    #: Handover-aware controllers set this True to ask the sender to
+    #: refresh its retransmission timer on churn signals (drop RTO
+    #: backoff accumulated during the pre-handover blackout and re-arm
+    #: on the estimator's measured timescale).  See
+    #: :meth:`repro.tcp.connection.TcpSender.notify_churn`.
+    churn_rearm_rto = False
+
+    #: Optional fast-repair deadline (seconds) honored with
+    #: ``churn_rearm_rto``: a churn signal is explicit evidence that the
+    #: inflight window rode a path that just vanished, so the sender may
+    #: pull its retransmission timer in to ``now + churn_retx_delay_s``
+    #: (never pushing a nearer expiry out) instead of waiting out a full
+    #: RTT-derived RTO.  None disables the pull-in.
+    churn_retx_delay_s: Optional[float] = None
 
     def __init__(self, mss: int = DEFAULT_MSS) -> None:
         if mss <= 0:
@@ -50,6 +66,18 @@ class CongestionControl(ABC):
     def on_rto(self, now: float) -> None:
         """Retransmission timeout fired."""
 
+    def on_churn(self, now: float, kind: str) -> None:
+        """A topology churn event (``PathSwitch``/``GsReattach``/...)
+        reached this sender.
+
+        Default: ignore.  Handover-aware controllers (OrbCC) override
+        this to drop their stale path model — the bottleneck after a
+        handover shares nothing with the one before it.  Delivered via
+        :meth:`repro.tcp.connection.TcpSender.notify_churn`, which
+        experiments wire to a
+        :meth:`repro.churn.TopologyEventStream.arm_signal` subscription.
+        """
+
     # -- outputs ---------------------------------------------------------
 
     @property
@@ -65,6 +93,7 @@ class CongestionControl(ABC):
         return f"<{type(self).__name__} cwnd={self.cwnd_bytes:.0f}B>"
 
 
+@register_cc("reno")
 class RenoCC(CongestionControl):
     """Classic NewReno AIMD: the scaffolding Cubic/Hybla/Westwood extend."""
 

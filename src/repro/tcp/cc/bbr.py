@@ -14,6 +14,7 @@ from collections import deque
 from typing import Deque, Optional
 
 from repro.tcp.cc.base import CongestionControl
+from repro.tcp.cc.registry import register_cc
 from repro.tcp.segment import DEFAULT_MSS
 
 STARTUP = "STARTUP"
@@ -22,6 +23,7 @@ PROBE_BW = "PROBE_BW"
 PROBE_RTT = "PROBE_RTT"
 
 
+@register_cc("bbr")
 class BbrCC(CongestionControl):
     name = "bbr"
 

@@ -1,0 +1,113 @@
+"""``CCSpec``: a frozen, picklable congestion-control selector.
+
+Everywhere the run API used to thread a bare ``cc_name: str`` it now
+accepts ``str | CCSpec``; :func:`as_cc_spec` is the single coercion
+point (``"bbr"`` → ``CCSpec("bbr")``), so existing call sites and
+pickled :class:`~repro.shard.plan.ShardPlan`s keep working unchanged.
+
+Params are stored as a sorted tuple of ``(key, value)`` pairs so the
+spec is hashable and its pickle/repr is deterministic regardless of the
+dict-insertion order a caller used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Union
+
+ParamValue = Union[int, float, str, bool]
+
+
+def _freeze_params(
+    params: Union[Mapping[str, ParamValue], tuple, None]
+) -> tuple:
+    if params is None:
+        return ()
+    if isinstance(params, Mapping):
+        items = params.items()
+    else:
+        items = tuple(params)
+    frozen = tuple(sorted((str(k), v) for k, v in items))
+    seen = set()
+    for key, _ in frozen:
+        if key in seen:
+            raise ValueError(f"duplicate CC param {key!r}")
+        seen.add(key)
+    return frozen
+
+
+@dataclass(frozen=True)
+class CCSpec:
+    """A congestion-control choice: registry name plus keyword params.
+
+    ``CCSpec("orbcc", {"probe_gain": 2.5})`` selects the ``orbcc``
+    factory and forwards ``probe_gain=2.5`` to its constructor.  The
+    name is *not* validated at construction time — plugins may register
+    after a spec is built (e.g. a spec unpickled in a worker process
+    before ``--cc-module`` imports run) — validation happens in
+    :func:`~repro.tcp.cc.make_cc`.
+    """
+
+    name: str
+    params: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"CC name must be a non-empty string: {self.name!r}")
+        object.__setattr__(self, "name", self.name.lower())
+        object.__setattr__(self, "params", _freeze_params(self.params))
+
+    @property
+    def params_dict(self) -> dict:
+        """Params as a plain keyword dict (insertion order = sorted keys)."""
+        return dict(self.params)
+
+    def label(self) -> str:
+        """Compact human-readable tag, e.g. ``orbcc(probe_gain=2.5)``."""
+        if not self.params:
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.name}({inner})"
+
+    def __str__(self) -> str:
+        return self.label()
+
+
+def as_cc_spec(cc: Union[str, CCSpec], default: Optional[str] = None) -> CCSpec:
+    """Coerce a bare name or an existing spec into a :class:`CCSpec`."""
+    if isinstance(cc, CCSpec):
+        return cc
+    if isinstance(cc, str):
+        return CCSpec(cc)
+    if cc is None and default is not None:
+        return CCSpec(default)
+    raise TypeError(f"expected a CC name or CCSpec, got {type(cc).__name__}")
+
+
+def _coerce_value(text: str) -> ParamValue:
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def parse_cc_params(pairs: list) -> dict:
+    """Parse repeated CLI ``k=v`` strings into a typed param dict.
+
+    Values coerce ``true``/``false`` → bool, then int, then float, and
+    fall back to the raw string.  Used by the ``--cc-param`` flag.
+    """
+    params: dict = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--cc-param expects k=v, got {pair!r}")
+        params[key] = _coerce_value(value)
+    return params

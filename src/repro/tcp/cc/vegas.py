@@ -13,9 +13,11 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.tcp.cc.base import CongestionControl
+from repro.tcp.cc.registry import register_cc
 from repro.tcp.segment import DEFAULT_MSS
 
 
+@register_cc("vegas")
 class VegasCC(CongestionControl):
     name = "vegas"
 

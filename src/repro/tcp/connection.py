@@ -200,6 +200,55 @@ class TcpSender(Node):
         self._send_loop()
         self._maybe_schedule_pacing()
 
+    def stop(self) -> None:
+        """Quiesce the sender: no further transmissions or timer fires.
+
+        Used when a flow is aborted (e.g. route loss): without this the
+        sender's RTO timer keeps firing and retransmitting into the
+        network forever — invisible zombie traffic that distorts every
+        other flow's bottleneck share.
+        """
+        self.stop_time = self.sim.now
+        self._rto_timer.cancel()
+
+    def notify_churn(self, kind: str) -> None:
+        """Deliver a topology churn signal to the congestion module.
+
+        Experiments wire this to a
+        :meth:`~repro.churn.events.TopologyEventStream.arm_signal`
+        subscription, giving handover-aware CCs (OrbCC, adaptive) their
+        ``on_churn`` events.  After the CC reacts, both transmission
+        paths are nudged so a raised rate/window takes effect now rather
+        than at the next ACK.
+        """
+        if self.finished:
+            return
+        self.cc.on_churn(self.sim.now, kind)
+        if self.cc.churn_rearm_rto and self._rto_timer.armed:
+            # The pending timer (and any backoff folded into it) was
+            # calibrated against the pre-handover path.  Restart loss
+            # detection on the estimator's measured timescale so data
+            # eaten by the re-attach blackout is repaired in ~one RTO,
+            # not after a backoff ladder built during the outage.  Pull
+            # the expiry *in* only — an imminent timer is already better
+            # loss detection than anything the estimator can offer.
+            self.rto.refresh()
+            # A sender with no RTT samples yet is sitting on the 1 s
+            # conventional initial RTO; post-churn, probing the new path
+            # at the floor is the faster way to its first sample.
+            delay = self.rto.rto_s if self.rto.samples else self.rto.min_rto_s
+            # The signal is explicit evidence the inflight rode a dead
+            # path: a CC may name an even shorter repair deadline sized
+            # to the re-attach blackout.  ACKs from surviving packets
+            # re-arm the timer normally before it can fire spuriously.
+            if self.cc.churn_retx_delay_s is not None:
+                delay = min(delay, self.cc.churn_retx_delay_s)
+            expiry = self._rto_timer.expiry
+            if expiry is None or self.sim.now + delay < expiry:
+                self._rto_timer.arm(delay)
+        self._send_loop()
+        self._maybe_schedule_pacing()
+
     # ------------------------------------------------------------------
     # Transmission
     # ------------------------------------------------------------------
@@ -539,3 +588,44 @@ class TcpReceiver(Node):
         if self.out_link is None:
             raise RuntimeError(f"receiver {self.name} has no outgoing link")
         self.out_link.send(ack)
+
+
+def make_tcp_sender(
+    sim: Simulator,
+    name: str,
+    dst_name: str,
+    out_link: Optional[Link],
+    cc,
+    *,
+    stream: Optional[ByteStream] = None,
+    mss: int = DEFAULT_MSS,
+    flow_id: Optional[str] = None,
+    start_time: float = 0.0,
+    stop_time: Optional[float] = None,
+) -> TcpSender:
+    """Build a :class:`TcpSender` with its congestion module in one step.
+
+    ``cc`` may be a registry name (``"bbr"``), a
+    :class:`~repro.tcp.cc.CCSpec` (params forwarded to the algorithm's
+    constructor), or an already-built
+    :class:`~repro.tcp.cc.CongestionControl` instance.  The single
+    construction point keeps ``flows.py`` / ``split.py`` /
+    ``gateway/bridge.py`` from re-implementing the ``make_cc`` +
+    ``TcpSender`` pairing with subtly different defaults.
+    """
+    from repro.tcp.cc import CongestionControl, make_cc
+
+    if not isinstance(cc, CongestionControl):
+        cc = make_cc(cc, mss=mss)
+    return TcpSender(
+        sim,
+        name,
+        dst_name,
+        out_link,
+        cc,
+        stream=stream,
+        mss=mss,
+        flow_id=flow_id,
+        start_time=start_time,
+        stop_time=stop_time,
+    )

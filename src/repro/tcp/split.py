@@ -10,15 +10,21 @@ queueing — Split TCP's weakness) is measured faithfully.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.netsim.link import Link
 from repro.netsim.node import Node
 from repro.netsim.packet import Packet
 from repro.netsim.trace import FlowRecorder
 from repro.simcore.simulator import Simulator
-from repro.tcp.cc import make_cc
-from repro.tcp.connection import ByteStream, ProxyStream, TcpReceiver, TcpSender
+from repro.tcp.cc import CCSpec
+from repro.tcp.connection import (
+    ByteStream,
+    ProxyStream,
+    TcpReceiver,
+    TcpSender,
+    make_tcp_sender,
+)
 from repro.tcp.segment import DEFAULT_MSS, TcpSegment
 
 
@@ -36,7 +42,7 @@ class SplitTcpProxy(Node):
         name: str,
         up_ack_link: Optional[Link],
         down_data_link: Optional[Link],
-        cc_name: str,
+        cc_name: Union[str, CCSpec],
         next_hop_name: str,
         up_flow_id: str,
         down_flow_id: str,
@@ -48,9 +54,9 @@ class SplitTcpProxy(Node):
             sim, name, out_link=up_ack_link,
             deliver=self._on_deliver, flow_id=up_flow_id,
         )
-        self.sender = TcpSender(
+        self.sender = make_tcp_sender(
             sim, name, next_hop_name, down_data_link,
-            make_cc(cc_name, mss=mss), stream=self.stream,
+            cc_name, stream=self.stream,
             mss=mss, flow_id=down_flow_id,
         )
 
@@ -105,7 +111,7 @@ def build_split_tcp_path(
     sim: Simulator,
     rng,
     hops: Sequence,
-    cc_name: str,
+    cc_name: Union[str, CCSpec],
     stream: Optional[ByteStream] = None,
     recorder: Optional[FlowRecorder] = None,
     mss: int = DEFAULT_MSS,
@@ -121,9 +127,9 @@ def build_split_tcp_path(
     n = len(hops)
     if n < 1:
         raise ValueError("need at least one hop")
-    sender = TcpSender(
+    sender = make_tcp_sender(
         sim, f"{flow_base}-snd", f"{flow_base}-p0" if n > 1 else f"{flow_base}-rcv",
-        None, make_cc(cc_name, mss=mss), stream=stream, mss=mss,
+        None, cc_name, stream=stream, mss=mss,
         flow_id=f"{flow_base}:hop0",
     )
     proxies = [

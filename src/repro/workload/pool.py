@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from array import array
 from functools import partial
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.content.catalog import object_name
 from repro.content.placement import CachePolicy, placement_weights
@@ -49,12 +49,18 @@ from repro.core.producer import Producer
 from repro.netsim.link import DuplexLink
 from repro.netsim.node import Router
 from repro.netsim.topology import HopSpec, build_chain
+from repro.netsim.trace import FlowRecorder
 from repro.obs.metrics import METRICS
 from repro.simcore.process import TimelineProcess
 from repro.simcore.random import RngRegistry
 from repro.simcore.simulator import Simulator
-from repro.tcp.cc import make_cc
-from repro.tcp.connection import FiniteStream, TcpReceiver, TcpSender
+from repro.tcp.cc import CCSpec, as_cc_spec
+from repro.tcp.connection import (
+    FiniteStream,
+    TcpReceiver,
+    TcpSender,
+    make_tcp_sender,
+)
 from repro.workload.arrivals import FlowDemand, WorkloadSpec, generate_demands
 from repro.workload.budget import MemoryBudget, SharedCachePool
 from repro.workload.metrics import FairnessTracker, FlowRecord
@@ -84,7 +90,7 @@ class FlowPool:
         *,
         spec: WorkloadSpec,
         hops: Sequence[HopSpec],
-        protocol: str = LEOTP,
+        protocol: Union[str, CCSpec] = LEOTP,
         config: Optional[LeotpConfig] = None,
         memory_ceiling_bytes: int = 48 << 20,
         cache_fraction: float = 0.75,
@@ -93,6 +99,7 @@ class FlowPool:
         access_delay_s: float = 0.002,
         name: str = "pool",
         cache_policy: Optional[CachePolicy] = None,
+        recorder: Optional[FlowRecorder] = None,
     ) -> None:
         if len(hops) < 1:
             raise ValueError("need at least one hop")
@@ -100,6 +107,17 @@ class FlowPool:
             raise ValueError("cache_fraction must be in (0, 1)")
         if not name:
             raise ValueError("pool name must be non-empty")
+        # ``protocol`` is either the LEOTP marker or a TCP congestion
+        # control selection (name or CCSpec).  The canonical *string*
+        # stays on self.protocol (node names, run names, result rows);
+        # the full spec (with params) rides on self.cc_spec.
+        if isinstance(protocol, CCSpec):
+            self.cc_spec: Optional[CCSpec] = protocol
+            protocol = protocol.name
+        elif protocol == LEOTP:
+            self.cc_spec = None
+        else:
+            self.cc_spec = as_cc_spec(protocol)
         if cache_policy is not None and protocol != LEOTP:
             raise ValueError("cache_policy applies only to LEOTP pools")
         self.sim = sim
@@ -117,6 +135,10 @@ class FlowPool:
         self.access_rate_bps = access_rate_bps
         self.access_delay_s = access_delay_s
         self.budget = MemoryBudget(memory_ceiling_bytes)
+        # Optional pool-wide delivery recorder: every flow's deliveries
+        # land in one timeline, so recovery metrics (goodput dips around
+        # handovers) apply to the aggregate exactly as to a single flow.
+        self.recorder = recorder
         self.fairness = FairnessTracker(fairness_window_s)
         # Struct-of-arrays flow bookkeeping: slot i across these parallel
         # arrays is one arrival.  NaN in _finish_s means "still open".
@@ -132,6 +154,7 @@ class FlowPool:
         self._live: dict[str, int] = {}  # flow_id -> slot index
         self._consumers: dict[str, Consumer] = {}  # live LEOTP endpoints
         self._delivered: dict[str, int] = {}  # TCP completion tracking
+        self._tcp_senders: dict[str, TcpSender] = {}  # live TCP endpoints
         # Result streaming (sharded runs): closed slots spill to a JSONL
         # sink at epoch boundaries and leave the struct-of-arrays state,
         # keeping resident size proportional to *live* flows.  Summary
@@ -373,19 +396,20 @@ class FlowPool:
             rcv_name,
             None,
             deliver=lambda nbytes, ts, fid=flow_id, total=demand.size_bytes: (
-                self._on_tcp_delivery(fid, nbytes, total)
+                self._on_tcp_delivery(fid, nbytes, total, ts)
             ),
             flow_id=flow_id,
         )
-        sender = TcpSender(
+        sender = make_tcp_sender(
             self.sim,
             snd_name,
             rcv_name,
             None,
-            make_cc(self.protocol),
+            self.cc_spec if self.cc_spec is not None else self.protocol,
             stream=FiniteStream(demand.size_bytes),
             flow_id=flow_id,
         )
+        self._tcp_senders[flow_id] = sender
         up = DuplexLink(
             self.sim, sender, self.routers[0],
             rate_bps=self.access_rate_bps, delay_s=self.access_delay_s,
@@ -410,19 +434,27 @@ class FlowPool:
     # Completion / retirement
     # ------------------------------------------------------------------
 
-    def _on_delivery(self, flow_id: str, nbytes: int) -> None:
+    def _on_delivery(
+        self, flow_id: str, nbytes: int, ts: Optional[float] = None
+    ) -> None:
         self.fairness.on_delivery(flow_id, nbytes, self.sim.now)
+        if self.recorder is not None:
+            owd = self.sim.now - ts if ts is not None else 0.0
+            self.recorder.on_delivery(nbytes, max(owd, 0.0))
 
     def _deliver_cb(self, flow_id: str, nbytes: int, ts: float) -> None:
         """Consumer ``deliver`` adapter (picklable partial target)."""
-        self._on_delivery(flow_id, nbytes)
+        self._on_delivery(flow_id, nbytes, ts)
 
     def _complete_cb(self, flow_id: str, consumer: Consumer) -> None:
         """Consumer ``on_complete`` adapter (picklable partial target)."""
         self._complete(flow_id)
 
-    def _on_tcp_delivery(self, flow_id: str, nbytes: int, total: int) -> None:
-        self._on_delivery(flow_id, nbytes)
+    def _on_tcp_delivery(
+        self, flow_id: str, nbytes: int, total: int,
+        ts: Optional[float] = None,
+    ) -> None:
+        self._on_delivery(flow_id, nbytes, ts)
         got = self._delivered.get(flow_id)
         if got is None:
             return  # already completed; late duplicate delivery
@@ -467,6 +499,11 @@ class FlowPool:
         consumer = self._consumers.get(flow_id)
         if consumer is not None:
             consumer.stop_time = self.sim.now
+        sender = self._tcp_senders.get(flow_id)
+        if sender is not None:
+            # Symmetric to the Consumer quiesce: a dropped sender would
+            # otherwise keep RTO-retransmitting into the chain forever.
+            sender.stop()
         self._retire(flow_id)
         self.budget.set_account(
             "flows", self.active_flows * self._flow_state_bytes
@@ -474,6 +511,18 @@ class FlowPool:
         if self.spec.closed_loop:
             self._spawn_next()
         return True
+
+    def notify_churn(self, kind: str) -> int:
+        """Broadcast a topology churn signal to every live TCP sender.
+
+        Deterministic (sorted flow-id order); LEOTP pools have no TCP
+        senders and the call is a no-op.  Returns the number notified.
+        """
+        notified = 0
+        for flow_id in sorted(self._tcp_senders):
+            self._tcp_senders[flow_id].notify_churn(kind)
+            notified += 1
+        return notified
 
     def abort_live(self, reason: str = "aborted") -> int:
         """Abort every live flow (deterministic order); returns the count."""
@@ -495,6 +544,7 @@ class FlowPool:
                 self.content.unbind(flow_id)
         else:
             self._delivered.pop(flow_id, None)
+            self._tcp_senders.pop(flow_id, None)
             snd_name = f"{flow_id}-snd"
             rcv_name = f"{flow_id}-rcv"
             for router in self.routers:

@@ -100,8 +100,8 @@ class TestRegistry:
             "fig01", "fig02", "fig03", "fig04", "fig05", "fig10", "fig11",
             "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
             "fig19", "table2", "ablation_vph", "ablation_params",
-            "related_snoop", "constellation_study", "chaos", "churn",
-            "content_study", "gateway", "multicast", "workload",
+            "related_snoop", "constellation_study", "ccbench", "chaos",
+            "churn", "content_study", "gateway", "multicast", "workload",
             "workload_sharded", "workload_sharded_xl",
         }
         assert set(ALL_EXPERIMENTS) == expected
@@ -189,3 +189,130 @@ class TestExport:
         assert path.endswith("fig_x.csv")
         with open(path) as fh:
             assert "proto" in fh.read()
+
+
+class TestCcbench:
+    """Reduced-cost checks of the CC bake-off; the full 2x2x2x6 matrix
+    runs in the nightly CI slice."""
+
+    @pytest.fixture(scope="class")
+    def restricted(self):
+        from repro.experiments.ccbench import run_ccbench
+        from repro.tcp.cc import CCSpec
+
+        return run_ccbench(
+            scale=0.5, seed=0, cc=CCSpec("orbcc", {"probe_gain": 2.5})
+        )
+
+    def test_axes_and_shape(self, restricted):
+        rows = restricted.rows
+        assert len(rows) == 8  # 2 cadences x 2 loads x 2 losses, one CC
+        assert {r["cadence"] for r in rows} == {"low", "high"}
+        assert {r["load"] for r in rows} == {"light", "heavy"}
+        assert {r["loss"] for r in rows} == {"clean", "burst"}
+        assert {r["cc"] for r in rows} == {"orbcc(probe_gain=2.5)"}
+
+    def test_row_columns(self, restricted):
+        row = restricted.rows[0]
+        for key in (
+            "fct_p50_s", "fct_p90_s", "fct_p99_s", "jain_mean",
+            "goodput_mbps", "mon_goodput_mbps", "handovers",
+            "recovery_mean_ms", "unrecovered", "faults_applied",
+        ):
+            assert key in row
+
+    def test_churn_applied(self, restricted):
+        assert all(r["faults_applied"] > 0 for r in restricted.rows)
+        high = [r for r in restricted.rows if r["cadence"] == "high"]
+        low = [r for r in restricted.rows if r["cadence"] == "low"]
+        assert high[0]["handovers"] > low[0]["handovers"]
+
+    def test_summary_renders(self, restricted):
+        from repro.analysis.report import ccbench_summary
+
+        text = ccbench_summary(restricted.rows)
+        assert "recovery mean" in text
+        assert "per-cell recovery wins" in text
+
+    def test_bit_identical_serial_vs_jobs2(self):
+        from repro.experiments.runner import RunSpec, run_experiments
+
+        spec = RunSpec(scale=0.5, seed=0, cc="reno")
+        serial = run_experiments(["ccbench"], spec, jobs=1)
+        parallel = run_experiments(["ccbench"], spec, jobs=2)
+        assert serial[0].result["rows"] == parallel[0].result["rows"]
+
+
+class TestCcSpecEntryPoints:
+    """Every former ``cc_name: str`` entry point takes a CCSpec too."""
+
+    def test_runspec_coerces_and_pickles(self):
+        import pickle
+
+        from repro.experiments.runner import RunSpec
+        from repro.tcp.cc import CCSpec
+
+        spec = RunSpec(cc="orbcc")
+        assert spec.cc == CCSpec("orbcc")
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.cc == spec.cc
+
+    def test_path_spec(self):
+        from repro.experiments.common import PathSpec, build_path
+        from repro.simcore import RngRegistry, Simulator
+        from repro.tcp.cc import CCSpec
+
+        spec = PathSpec(
+            protocol="tcp",
+            hops=tuple(uniform_chain_specs(2, rate_bps=10e6)),
+            cc_name=CCSpec("orbcc", {"hold_s": 0.2}),
+        )
+        path = build_path(Simulator(), RngRegistry(0), spec)
+        assert path.sender.cc.hold_s == 0.2
+
+    def test_build_e2e_and_split(self):
+        from repro.simcore import RngRegistry, Simulator
+        from repro.tcp import build_e2e_tcp_path, build_split_tcp_path
+        from repro.tcp.cc import CCSpec
+
+        hops = uniform_chain_specs(2, rate_bps=10e6)
+        spec = CCSpec("cubic")
+        e2e = build_e2e_tcp_path(Simulator(), RngRegistry(0), hops, spec)
+        assert e2e.sender.cc.name == "cubic"
+        split = build_split_tcp_path(Simulator(), RngRegistry(0), hops, spec)
+        assert split.sender.cc.name == "cubic"
+
+    def test_flow_pool(self):
+        from repro.simcore import RngRegistry, Simulator
+        from repro.tcp.cc import CCSpec
+        from repro.workload import FlowPool, WorkloadSpec
+
+        sim = Simulator()
+        pool = FlowPool(
+            sim, RngRegistry(0),
+            spec=WorkloadSpec(
+                arrival="poisson", rate_per_s=10.0, n_flows=4,
+                mean_size_bytes=500_000,
+            ),
+            hops=uniform_chain_specs(2, rate_bps=10e6),
+            protocol=CCSpec("orbcc", {"probe_gain": 2.2}),
+            name="ccspec-pool",
+        )
+        # Stop mid-transfer: completed flows are retired from the live
+        # sender map, so probe while at least one is still in flight.
+        sim.run(until=0.5)
+        assert pool._tcp_senders, "no flows in flight at the probe time"
+        sender = next(iter(pool._tcp_senders.values()))
+        assert sender.cc.probe_gain == 2.2
+
+    def test_gateway_bridge(self):
+        from repro.gateway import build_gateway_path
+        from repro.simcore import RngRegistry, Simulator
+        from repro.tcp.cc import CCSpec
+
+        path = build_gateway_path(
+            Simulator(), RngRegistry(0), 100_000,
+            uniform_chain_specs(2, rate_bps=10e6),
+            tcp_cc=CCSpec("westwood"),
+        )
+        assert path.server.cc.name == "westwood"

@@ -96,3 +96,27 @@ class TestRtoEstimator:
         est.on_sample(0.1)
         est.on_sample(0.1)
         assert est.samples == 2
+
+    def test_refresh_drops_backoff(self):
+        est = RtoEstimator(min_rto_s=0.2, max_rto_s=60.0)
+        est.on_sample(0.1)
+        clean = est.rto_s
+        est.backoff(2.0)
+        est.backoff(2.0)
+        assert est.rto_s == pytest.approx(4.0 * clean)
+        est.refresh()
+        assert est.rto_s == pytest.approx(clean)
+
+    def test_refresh_without_samples_is_noop(self):
+        est = RtoEstimator(initial_rto_s=1.0)
+        est.backoff(2.0)
+        est.refresh()
+        assert est.rto_s == pytest.approx(2.0)
+
+    def test_refresh_respects_min_clamp(self):
+        est = RtoEstimator(min_rto_s=0.2)
+        for _ in range(20):
+            est.on_sample(0.01)
+        est.backoff(2.0)
+        est.refresh()
+        assert est.rto_s == pytest.approx(0.2)

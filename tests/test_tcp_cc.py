@@ -270,3 +270,321 @@ class TestPcc:
         for _ in range(50):
             cc.on_rto(1.0)
         assert cc.rate_bps == pytest.approx(cc.MIN_RATE_BPS)
+
+
+class TestCCSpec:
+    def test_coercion_and_case(self):
+        from repro.tcp.cc import CCSpec, as_cc_spec
+
+        spec = as_cc_spec("BBR")
+        assert spec == CCSpec("bbr")
+        assert as_cc_spec(spec) is spec
+
+    def test_params_frozen_sorted(self):
+        from repro.tcp.cc import CCSpec
+
+        a = CCSpec("orbcc", {"probe_s": 0.5, "hold_s": 0.1})
+        b = CCSpec("orbcc", {"hold_s": 0.1, "probe_s": 0.5})
+        assert a == b and hash(a) == hash(b)
+        assert a.params == (("hold_s", 0.1), ("probe_s", 0.5))
+        assert a.params_dict == {"hold_s": 0.1, "probe_s": 0.5}
+
+    def test_label(self):
+        from repro.tcp.cc import CCSpec
+
+        assert CCSpec("bbr").label() == "bbr"
+        assert CCSpec("orbcc", {"probe_gain": 2.5}).label() == \
+            "orbcc(probe_gain=2.5)"
+
+    def test_duplicate_param_rejected(self):
+        from repro.tcp.cc import CCSpec
+
+        with pytest.raises(ValueError):
+            CCSpec("orbcc", (("k", 1), ("k", 2)))
+
+    def test_empty_name_rejected(self):
+        from repro.tcp.cc import CCSpec
+
+        with pytest.raises(ValueError):
+            CCSpec("")
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        from repro.tcp.cc import CCSpec
+
+        spec = CCSpec("orbcc", {"probe_gain": 2.5, "hold_s": 0.1})
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.params_dict == spec.params_dict
+
+    def test_parse_cc_params_types(self):
+        from repro.tcp.cc import parse_cc_params
+
+        params = parse_cc_params(
+            ["a=1", "b=2.5", "c=true", "d=False", "e=text"]
+        )
+        assert params == {
+            "a": 1, "b": 2.5, "c": True, "d": False, "e": "text"
+        }
+        assert isinstance(params["a"], int)
+
+    def test_parse_cc_params_rejects_bare_word(self):
+        from repro.tcp.cc import parse_cc_params
+
+        with pytest.raises(ValueError):
+            parse_cc_params(["noequals"])
+
+
+class TestMakeCCParams:
+    def test_params_forwarded(self):
+        from repro.tcp.cc import CCSpec
+
+        cc = make_cc(CCSpec("orbcc", {"probe_gain": 2.5, "hold_s": 0.2}))
+        assert cc.probe_gain == 2.5
+        assert cc.hold_s == 0.2
+
+    def test_bad_param_is_value_error(self):
+        from repro.tcp.cc import CCSpec
+
+        with pytest.raises(ValueError, match="orbcc"):
+            make_cc(CCSpec("orbcc", {"no_such_knob": 1}))
+
+    def test_unknown_name_lists_registry(self):
+        with pytest.raises(ValueError) as err:
+            make_cc("quic")
+        for name in sorted(CC_REGISTRY):
+            assert name in str(err.value)
+
+
+class TestRegisterCC:
+    def test_duplicate_rejected(self):
+        from repro.tcp.cc import register_cc
+
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_cc("reno")
+            class Impostor:  # pragma: no cover - never registered
+                pass
+
+    def test_reserved_rejected(self):
+        from repro.tcp.cc import register_cc
+
+        with pytest.raises(ValueError, match="reserved"):
+            register_cc("leotp")
+
+    def test_invalid_name_rejected(self):
+        from repro.tcp.cc import register_cc
+
+        with pytest.raises(ValueError):
+            register_cc("bad name!")
+
+    def test_third_party_registration(self):
+        from repro.tcp.cc import register_cc
+
+        @register_cc("testonly_cc")
+        class TestOnlyCC(RenoCC):
+            name = "testonly_cc"
+
+        try:
+            cc = make_cc("testonly_cc")
+            assert isinstance(cc, TestOnlyCC)
+        finally:
+            del CC_REGISTRY["testonly_cc"]
+
+
+def _feed_orbcc(cc, now, bw_bps=8e6, rtt=0.05, n=20, dt=0.05):
+    for _ in range(n):
+        now += dt
+        cc.on_ack(now, 14_000, rtt, 10_000, rate_sample_bps=bw_bps)
+    return now
+
+
+class TestOrbCC:
+    def make(self, **kw):
+        from repro.tcp.cc import OrbCC
+
+        return OrbCC(MSS, **kw)
+
+    def test_declares_churn_contract(self):
+        cc = self.make(hold_s=0.1)
+        assert cc.churn_rearm_rto is True
+        assert cc.churn_retx_delay_s == pytest.approx(0.15)
+
+    def test_blind_rate_before_estimates(self):
+        cc = self.make(blind_rate_bps=2e6)
+        assert cc.pacing_rate_bps(0.0) == pytest.approx(2e6)
+
+    def test_startup_fills_then_cruises(self):
+        from repro.tcp.cc.orbcc import CRUISE, STARTUP
+
+        cc = self.make()
+        assert cc.state == STARTUP
+        _feed_orbcc(cc, 0.0)
+        assert cc.state == CRUISE
+        assert cc.btl_bw_bps == pytest.approx(8e6)
+        assert cc.rt_prop_s == pytest.approx(0.05)
+
+    def test_churn_reset_drops_model_keeps_floor(self):
+        cc = self.make(carryover=0.85)
+        now = _feed_orbcc(cc, 0.0)
+        cc.on_churn(now, "PathSwitch")
+        assert cc.churn_resets == 1
+        # Raw filter cleared; discounted carry-over keeps pacing alive.
+        assert cc._btl_bw == 0.0
+        assert cc.btl_bw_bps == pytest.approx(0.85 * 8e6)
+        # RTprop survives as a working guess.
+        assert cc.rt_prop_s == pytest.approx(0.05)
+
+    def test_non_reset_kinds_ignored(self):
+        cc = self.make()
+        now = _feed_orbcc(cc, 0.0)
+        cc.on_churn(now, "RouteLost")
+        assert cc.churn_resets == 0
+        assert cc.btl_bw_bps == pytest.approx(8e6)
+
+    def test_hold_then_probe_then_drain(self):
+        from repro.tcp.cc.orbcc import (
+            DRAIN,
+            HOLD_HANDOVER,
+            PROBE_HANDOVER,
+        )
+
+        cc = self.make(hold_s=0.1, probe_s=0.4, probe_gain=2.0)
+        now = _feed_orbcc(cc, 0.0)
+        cc.on_churn(now, "GsReattach")
+        hold_rate = cc.pacing_rate_bps(now + 0.05)
+        assert cc.state == HOLD_HANDOVER
+        probe_rate = cc.pacing_rate_bps(now + 0.2)
+        assert cc.state == PROBE_HANDOVER
+        assert probe_rate > hold_rate
+        # Past the probe window the burst drains (BBR-style).
+        cc.pacing_rate_bps(now + 0.6)
+        assert cc.state == DRAIN
+        drain_rate = cc.pacing_rate_bps(now + 0.6)
+        assert drain_rate < probe_rate
+
+    def test_probe_cwnd_at_least_probe_gain_bdp(self):
+        cc = self.make(hold_s=0.0, probe_s=0.5, probe_gain=3.0)
+        now = _feed_orbcc(cc, 0.0)
+        cc.on_churn(now, "PathSwitch")
+        cc.pacing_rate_bps(now + 0.01)  # in PROBE_HANDOVER
+        bdp = cc.btl_bw_bps * cc.rt_prop_s / 8.0
+        assert cc.cwnd_bytes >= 3.0 * bdp * 0.99
+
+    def test_stale_floor_decays(self):
+        cc = self.make(hold_s=0.05, probe_s=0.1, carryover=1.0)
+        now = _feed_orbcc(cc, 0.0)
+        cc.on_churn(now, "PathSwitch")
+        floor_at_churn = cc.btl_bw_bps
+        # Ride past hold+probe with ACKs that carry no usable rate
+        # sample (delivery stalled): the floor must fade, not persist.
+        t = now + 0.2
+        for _ in range(12):
+            t += 0.05
+            cc.on_ack(t, 1400, 0.05, 1400, rate_sample_bps=None)
+        assert cc.btl_bw_bps < floor_at_churn * 0.6
+
+    def test_fresh_samples_supersede_floor(self):
+        cc = self.make(hold_s=0.0, probe_s=0.1)
+        now = _feed_orbcc(cc, 0.0, bw_bps=8e6)
+        cc.on_churn(now, "PathSwitch")
+        now = _feed_orbcc(cc, now + 0.2, bw_bps=12e6, n=10)
+        assert cc.btl_bw_bps == pytest.approx(12e6)
+
+    def test_validation(self):
+        from repro.tcp.cc import OrbCC
+
+        with pytest.raises(ValueError):
+            OrbCC(MSS, probe_gain=0.5)
+        with pytest.raises(ValueError):
+            OrbCC(MSS, carryover=1.5)
+        with pytest.raises(ValueError):
+            OrbCC(MSS, hold_s=-0.1)
+        with pytest.raises(ValueError):
+            OrbCC(MSS, blind_rate_bps=0)
+
+    def test_rto_does_not_collapse_rate(self):
+        cc = self.make()
+        now = _feed_orbcc(cc, 0.0)
+        rate_before = cc.pacing_rate_bps(now)
+        cc.on_rto(now)
+        assert cc.pacing_rate_bps(now) == pytest.approx(rate_before)
+
+
+class TestAdaptive:
+    def make(self, **kw):
+        from repro.tcp.cc import AdaptiveCC
+
+        return AdaptiveCC(MSS, **kw)
+
+    def feed(self, cc, now, n=40, rtt=0.05, dt=0.05, loss_every=0):
+        for i in range(n):
+            now += dt
+            if loss_every and i % loss_every == 0:
+                cc.on_fast_retransmit(now)
+            cc.on_ack(now, 14_000, rtt, 10_000)
+        return now
+
+    def test_warmup_grows_rate(self):
+        cc = self.make(initial_rate_bps=1e6)
+        self.feed(cc, 0.0, n=20)
+        assert cc.rate_bps > 1e6
+
+    def test_deterministic(self):
+        a, b = self.make(), self.make()
+        self.feed(a, 0.0, n=60, loss_every=7)
+        self.feed(b, 0.0, n=60, loss_every=7)
+        assert a.rate_bps == b.rate_bps
+        assert a._scores == b._scores
+
+    def test_loss_exits_warmup(self):
+        cc = self.make()
+        now = self.feed(cc, 0.0, n=5)
+        cc.on_fast_retransmit(now)
+        self.feed(cc, now, n=5)
+        assert not cc._warmup
+
+    def test_rto_halves_rate(self):
+        cc = self.make(initial_rate_bps=4e6)
+        cc.on_rto(1.0)
+        assert cc.rate_bps == pytest.approx(2e6)
+        assert not cc._warmup
+
+    def test_churn_resets_learning(self):
+        cc = self.make()
+        now = self.feed(cc, 0.0, n=40, loss_every=9)
+        assert not cc._warmup
+        cc.on_churn(now, "PathSwitch")
+        assert cc.churn_resets == 1
+        assert cc._scores == [0.0, 0.0, 0.0]
+        assert cc._warmup
+
+    def test_non_reset_kind_ignored(self):
+        cc = self.make()
+        cc.on_churn(1.0, "RouteLost")
+        assert cc.churn_resets == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            self.make(explore_every=1)
+
+
+class TestChurnDefaults:
+    def test_base_defaults(self):
+        for name in CC_REGISTRY:
+            cc = make_cc(name)
+            if name in ("orbcc",):
+                continue
+            assert cc.churn_rearm_rto is False
+            assert cc.churn_retx_delay_s is None
+
+    def test_on_churn_noop_everywhere(self):
+        # Every registered CC must tolerate churn signals (default no-op).
+        for name in CC_REGISTRY:
+            cc = make_cc(name)
+            cc.on_churn(1.0, "PathSwitch")
+            cc.on_churn(1.5, "RouteLost")
+            assert cc.cwnd_bytes > 0

@@ -202,3 +202,54 @@ class TestSplitTcp:
         split = build_split_tcp_path(sim, rng, hops, "reno")
         sim.run(until=3.0)
         assert split.total_proxy_backlog_bytes > 0
+
+
+class TestSenderChurn:
+    def make_path(self, cc="orbcc", until=2.0):
+        sim = Simulator()
+        rng = RngRegistry(7)
+        path = build_e2e_tcp_path(
+            sim, rng, uniform_chain_specs(2, rate_bps=10e6, delay_s=0.005),
+            cc, stream=FiniteStream(5_000_000),
+        )
+        sim.run(until=until)
+        return sim, path
+
+    def test_stop_quiesces_sender(self):
+        sim, path = self.make_path(cc="reno")
+        sent_at_stop = path.sender.wire_bytes_sent
+        path.sender.stop()
+        assert not path.sender._rto_timer.armed
+        sim.run(until=sim.now + 3.0)
+        assert path.sender.wire_bytes_sent == sent_at_stop
+
+    def test_churn_rearm_pulls_rto_in(self):
+        # orbcc declares churn_rearm_rto + a fast-repair deadline: the
+        # signal may only move a pending timer EARLIER, never later.
+        sim, path = self.make_path(cc="orbcc")
+        sender = path.sender
+        assert sender._rto_timer.armed
+        before = sender._rto_timer.expiry
+        sender.notify_churn("PathSwitch")
+        after = sender._rto_timer.expiry
+        assert after <= before
+        assert after <= sim.now + sender.cc.churn_retx_delay_s + sender.rto.rto_s
+
+    def test_reno_ignores_churn_timer(self):
+        sim, path = self.make_path(cc="reno")
+        sender = path.sender
+        before = sender._rto_timer.expiry
+        sender.notify_churn("PathSwitch")
+        assert sender._rto_timer.expiry == before
+
+    def test_notify_churn_after_finish_is_noop(self):
+        sim, path = self.make_path(cc="reno", until=40.0)
+        assert path.sender.finished
+        path.sender.notify_churn("PathSwitch")  # must not raise or rearm
+        assert not path.sender._rto_timer.armed
+
+    def test_churn_signal_reaches_cc(self):
+        sim, path = self.make_path(cc="orbcc")
+        assert path.sender.cc.churn_resets == 0
+        path.sender.notify_churn("GsReattach")
+        assert path.sender.cc.churn_resets == 1
